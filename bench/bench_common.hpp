@@ -1,0 +1,121 @@
+// Shared infrastructure for the table/figure reproduction benches.
+#ifndef SLUGGER_BENCH_BENCH_COMMON_HPP_
+#define SLUGGER_BENCH_BENCH_COMMON_HPP_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/mosso.hpp"
+#include "baselines/randomized.hpp"
+#include "baselines/sags.hpp"
+#include "baselines/sweg.hpp"
+#include "core/slugger.hpp"
+#include "gen/datasets.hpp"
+#include "gen/generators.hpp"
+#include "summary/verify.hpp"
+#include "util/timer.hpp"
+
+namespace slugger::bench {
+
+/// Result of one summarizer run.
+struct RunResult {
+  double relative_size = 0.0;
+  double seconds = 0.0;
+  bool timed_out = false;  ///< Randomized hit its budget (paper: "missing")
+};
+
+inline constexpr double kRandomizedBudgetSeconds = 20.0;
+
+/// Runs one of {Slugger, SWeG, MoSSo, Randomized, SAGS} with the paper's
+/// §IV-A parameters. Algorithms are named as in Fig. 5.
+inline RunResult RunAlgorithm(const std::string& algo, const graph::Graph& g,
+                              uint64_t seed, uint32_t slugger_iterations = 20) {
+  RunResult out;
+  WallTimer timer;
+  if (algo == "Slugger") {
+    core::SluggerConfig config;
+    config.iterations = slugger_iterations;
+    config.seed = seed;
+    core::SluggerResult r = core::Summarize(g, config);
+    out.seconds = timer.Seconds();
+    out.relative_size = r.stats.RelativeSize(g.num_edges());
+  } else if (algo == "SWeG") {
+    baselines::SwegConfig config;
+    config.iterations = 20;
+    config.seed = seed;
+    baselines::FlatSummary s = baselines::SummarizeSweg(g, config);
+    out.seconds = timer.Seconds();
+    out.relative_size = s.RelativeSize(g.num_edges());
+  } else if (algo == "MoSSo") {
+    baselines::MossoConfig config;
+    config.seed = seed;
+    baselines::FlatSummary s = baselines::SummarizeMosso(g, config);
+    out.seconds = timer.Seconds();
+    out.relative_size = s.RelativeSize(g.num_edges());
+  } else if (algo == "Randomized") {
+    baselines::RandomizedConfig config;
+    config.seed = seed;
+    config.time_budget_seconds = kRandomizedBudgetSeconds;
+    baselines::FlatSummary s = baselines::SummarizeRandomized(g, config);
+    out.seconds = timer.Seconds();
+    out.relative_size = s.RelativeSize(g.num_edges());
+    out.timed_out = out.seconds >= kRandomizedBudgetSeconds;
+  } else if (algo == "SAGS") {
+    baselines::SagsConfig config;
+    config.seed = seed;
+    baselines::FlatSummary s = baselines::SummarizeSags(g, config);
+    out.seconds = timer.Seconds();
+    out.relative_size = s.RelativeSize(g.num_edges());
+  } else {
+    std::fprintf(stderr, "unknown algorithm %s\n", algo.c_str());
+    std::abort();
+  }
+  return out;
+}
+
+struct MeanStd {
+  double mean = 0.0;
+  double stdev = 0.0;
+};
+
+inline MeanStd Aggregate(const std::vector<double>& xs) {
+  MeanStd out;
+  if (xs.empty()) return out;
+  for (double x : xs) out.mean += x;
+  out.mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - out.mean) * (x - out.mean);
+  out.stdev = xs.size() > 1 ? std::sqrt(var / (xs.size() - 1)) : 0.0;
+  return out;
+}
+
+/// Number of seeds per configuration (paper: 5). Override with
+/// SLUGGER_BENCH_SEEDS to trade precision for time.
+inline uint32_t SeedsFromEnv(uint32_t fallback = 2) {
+  const char* env = std::getenv("SLUGGER_BENCH_SEEDS");
+  if (env == nullptr) return fallback;
+  int v = std::atoi(env);
+  return v >= 1 ? static_cast<uint32_t>(v) : fallback;
+}
+
+/// Scale used by a bench: the env var wins; otherwise the bench default.
+inline gen::Scale BenchScale(gen::Scale fallback) {
+  const char* env = std::getenv("SLUGGER_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  return gen::ScaleFromEnv();
+}
+
+inline void PrintHeaderLine(const std::string& title, gen::Scale scale,
+                            uint32_t seeds) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("scale=%s seeds=%u (env: SLUGGER_BENCH_SCALE, "
+              "SLUGGER_BENCH_SEEDS)\n\n",
+              gen::ScaleName(scale).c_str(), seeds);
+}
+
+}  // namespace slugger::bench
+
+#endif  // SLUGGER_BENCH_BENCH_COMMON_HPP_

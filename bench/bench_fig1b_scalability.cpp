@@ -1,0 +1,55 @@
+// Fig. 1(b): SLUGGER scales linearly with |E|. Reproduced by inducing
+// subgraphs of increasing size from the largest analog (U5-syn), exactly
+// like the paper samples nodes from UK-05.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slugger;
+  using namespace slugger::bench;
+
+  gen::Scale scale = BenchScale(gen::Scale::kSmall);
+  PrintHeaderLine("Fig. 1(b) — scalability: runtime vs |E| (U5-syn subsamples)",
+                  scale, 1);
+
+  graph::Graph base = gen::GenerateDataset("U5-syn", scale, 1);
+  std::printf("base: %u nodes, %llu edges\n\n", base.num_nodes(),
+              static_cast<unsigned long long>(base.num_edges()));
+
+  std::printf("%12s %12s %10s %14s\n", "|V|", "|E|", "seconds", "edges/sec");
+  std::vector<double> xs, ys;
+  for (double frac : {0.125, 0.25, 0.5, 0.75, 1.0}) {
+    NodeId n = static_cast<NodeId>(base.num_nodes() * frac);
+    graph::Graph g = gen::InducedSubsample(base, n, 7);
+    core::SluggerConfig config;
+    config.iterations = 20;
+    config.seed = 1;
+    WallTimer timer;
+    core::SluggerResult r = core::Summarize(g, config);
+    double secs = timer.Seconds();
+    (void)r;
+    std::printf("%12u %12llu %10.2f %14.0f\n", g.num_nodes(),
+                static_cast<unsigned long long>(g.num_edges()), secs,
+                g.num_edges() / std::max(secs, 1e-9));
+    xs.push_back(static_cast<double>(g.num_edges()));
+    ys.push_back(secs);
+  }
+
+  // Least-squares fit through the origin + R^2 against the linear model.
+  double sxy = 0, sxx = 0, sy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += xs[i] * ys[i];
+    sxx += xs[i] * xs[i];
+    sy += ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double slope = sxy / sxx;
+  double ss_res = 0, ss_tot = 0, ymean = sy / ys.size();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ss_res += (ys[i] - slope * xs[i]) * (ys[i] - slope * xs[i]);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  std::printf("\nlinear fit through origin: time = %.3g * |E|;  R^2 vs "
+              "linear model = %.4f (paper: linear, O(|E|))\n",
+              slope, ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0);
+  return 0;
+}

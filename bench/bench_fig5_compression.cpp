@@ -1,0 +1,64 @@
+// Fig. 5(a)+(b): relative output size and running time of the five
+// summarizers on all 16 dataset analogs, with SLUGGER's speedups over
+// SWeG and SAGS (the orange/green factors of Fig. 5(b)).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slugger;
+  using namespace slugger::bench;
+
+  gen::Scale scale = BenchScale(gen::Scale::kSmall);
+  uint32_t seeds = SeedsFromEnv(1);
+  PrintHeaderLine(
+      "Fig. 5 — compactness and speed on all 16 dataset analogs", scale,
+      seeds);
+
+  const char* algos[] = {"Slugger", "SWeG", "MoSSo", "Randomized", "SAGS"};
+
+  std::printf("(a) relative size of outputs; (b) running time [s]\n");
+  std::printf("'*' = Randomized hit its %.0fs budget (paper: >24h timeout)\n\n",
+              kRandomizedBudgetSeconds);
+  std::printf("%-8s %10s |", "dataset", "|E|");
+  for (const char* algo : algos) std::printf(" %10s", algo);
+  std::printf(" | paper(Slg)\n");
+
+  double win_count = 0, total = 0;
+  for (const auto& spec : gen::AllDatasets()) {
+    graph::Graph g = gen::GenerateDataset(spec.name, scale, 1);
+    double sizes[5] = {0};
+    double times[5] = {0};
+    bool capped[5] = {false};
+    for (int a = 0; a < 5; ++a) {
+      std::vector<double> size_acc, time_acc;
+      for (uint32_t s = 1; s <= seeds; ++s) {
+        RunResult r = RunAlgorithm(algos[a], g, s);
+        size_acc.push_back(r.relative_size);
+        time_acc.push_back(r.seconds);
+        capped[a] |= r.timed_out;
+      }
+      sizes[a] = Aggregate(size_acc).mean;
+      times[a] = Aggregate(time_acc).mean;
+    }
+    // (a) sizes row
+    std::printf("%-8s %10llu |", spec.name.c_str(),
+                static_cast<unsigned long long>(g.num_edges()));
+    for (int a = 0; a < 5; ++a) {
+      std::printf(" %9.3f%s", sizes[a], capped[a] ? "*" : " ");
+    }
+    std::printf(" | %10.3f\n", spec.paper_relative_size);
+    // (b) times row
+    std::printf("%-8s %10s |", "", "time[s]");
+    for (int a = 0; a < 5; ++a) std::printf(" %9.2f ", times[a]);
+    std::printf(" | x%.2f vs SWeG, x%.2f vs SAGS\n", times[1] / times[0],
+                times[4] / times[0]);
+
+    double best_other = 1e30;
+    for (int a = 1; a < 5; ++a) best_other = std::min(best_other, sizes[a]);
+    if (sizes[0] <= best_other) win_count += 1;
+    total += 1;
+  }
+  std::printf("\nSlugger most concise on %.0f/%.0f datasets "
+              "(paper: 16/16)\n",
+              win_count, total);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table III: effect of the iteration count T on SLUGGER's relative output
+// size — sizes shrink with T and nearly converge by T = 40.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace slugger;
+  using namespace slugger::bench;
+
+  // Heavy sweep (156 iterations worth of work per dataset): default to the
+  // tiny scale; export SLUGGER_BENCH_SCALE to override.
+  gen::Scale scale = BenchScale(gen::Scale::kTiny);
+  PrintHeaderLine("Table III — effect of the number of iterations T", scale, 1);
+
+  const uint32_t ts[] = {1, 5, 10, 20, 40, 80};
+  std::printf("%-8s", "dataset");
+  for (uint32_t t : ts) std::printf("    T=%-4u", t);
+  std::printf("   paper(T=20)\n");
+
+  for (const auto& spec : gen::AllDatasets()) {
+    graph::Graph g = gen::GenerateDataset(spec.name, scale, 1);
+    std::printf("%-8s", spec.name.c_str());
+    double prev = 2.0;
+    for (uint32_t t : ts) {
+      RunResult r = RunAlgorithm("Slugger", g, 1, t);
+      std::printf(" %9.3f", r.relative_size);
+      std::fflush(stdout);
+      prev = r.relative_size;
+    }
+    (void)prev;
+    std::printf("   %9.3f\n", spec.paper_relative_size);
+  }
+  std::printf("\nExpected shape: monotone-ish decrease, near-convergence "
+              "after T = 40 (paper Table III).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Scenario: recover the latent hierarchy of a web-style graph.
+//
+// Generates a planted multi-level block graph, summarizes it, and prints
+// how the discovered supernode hierarchy lines up with the planted blocks —
+// the paper's §I motivation (universities -> departments -> labs).
+//
+// Build & run:   ./build/examples/hierarchy_explorer
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/slugger.hpp"
+#include "gen/generators.hpp"
+#include "summary/stats.hpp"
+
+int main() {
+  using namespace slugger;
+
+  gen::PlantedHierarchyOptions opt;
+  opt.branching = 4;
+  opt.depth = 3;
+  opt.leaf_size = 8;       // 64 leaf blocks of 8 nodes, 512 nodes total
+  opt.leaf_density = 0.92;
+  opt.pair_link_prob = 0.45;
+  opt.pair_link_decay = 0.3;
+  opt.noise_density = 1e-4;
+  graph::Graph g = gen::PlantedHierarchy(opt, 99);
+  std::printf("planted hierarchy: %u nodes, %llu edges, %u levels of "
+              "nesting over blocks of %u\n\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              opt.depth, opt.leaf_size);
+
+  core::SluggerConfig config;
+  config.iterations = 30;
+  config.seed = 99;
+  core::SluggerResult result = core::Summarize(g, config);
+  std::printf("summary: %s\n", result.stats.ToString().c_str());
+  std::printf("relative size: %.3f\n\n",
+              result.stats.RelativeSize(g.num_edges()));
+
+  // Depth histogram of the recovered forest.
+  const summary::HierarchyForest& forest = result.summary.forest();
+  std::map<uint32_t, uint32_t> depth_histogram;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    uint32_t depth = 0;
+    for (SupernodeId s = u; forest.Parent(s) != kInvalidId;
+         s = forest.Parent(s)) {
+      ++depth;
+    }
+    ++depth_histogram[depth];
+  }
+  std::printf("leaf depth histogram (how deep each node sits in the "
+              "recovered hierarchy):\n");
+  for (const auto& [depth, count] : depth_histogram) {
+    std::printf("  depth %2u: %5u nodes %s\n", depth, count,
+                std::string(count * 60 / g.num_nodes(), '#').c_str());
+  }
+
+  // Block purity: for each non-trivial supernode, does it stay inside one
+  // planted leaf block (or one planted super-block)?
+  uint32_t pure_leaf_block = 0, pure_super_block = 0, mixed = 0;
+  for (SupernodeId s = g.num_nodes(); s < forest.capacity(); ++s) {
+    if (!forest.IsAlive(s)) continue;
+    std::vector<NodeId> leaves;
+    forest.ForEachLeaf(s, [&](NodeId u) { leaves.push_back(u); });
+    auto block = [&](NodeId u, uint32_t span) { return u / span; };
+    bool same_leaf_block = true, same_super_block = true;
+    for (NodeId u : leaves) {
+      same_leaf_block &= block(u, opt.leaf_size) == block(leaves[0], opt.leaf_size);
+      same_super_block &=
+          block(u, opt.leaf_size * opt.branching) ==
+          block(leaves[0], opt.leaf_size * opt.branching);
+    }
+    if (same_leaf_block) {
+      ++pure_leaf_block;
+    } else if (same_super_block) {
+      ++pure_super_block;
+    } else {
+      ++mixed;
+    }
+  }
+  std::printf("\nsupernode alignment with the planted blocks:\n");
+  std::printf("  within one leaf block:   %u\n", pure_leaf_block);
+  std::printf("  within one super block:  %u\n", pure_super_block);
+  std::printf("  spanning several blocks: %u\n", mixed);
+  std::printf("\nHigh alignment means the lossless summary doubles as a "
+              "hierarchy-discovery tool.\n");
+  return 0;
+}

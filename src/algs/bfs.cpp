@@ -1,0 +1,16 @@
+#include "algs/bfs.hpp"
+
+namespace slugger::algs {
+
+std::vector<uint32_t> BfsOnGraph(const graph::Graph& g, NodeId start) {
+  RawSource src(g);
+  return BfsDistances(src, start);
+}
+
+std::vector<uint32_t> BfsOnSummary(const summary::SummaryGraph& s,
+                                   NodeId start) {
+  SummarySource src(s);
+  return BfsDistances(src, start);
+}
+
+}  // namespace slugger::algs

@@ -1,0 +1,15 @@
+#include "algs/dfs.hpp"
+
+namespace slugger::algs {
+
+std::vector<NodeId> DfsOnGraph(const graph::Graph& g, NodeId start) {
+  RawSource src(g);
+  return DfsPreorder(src, start);
+}
+
+std::vector<NodeId> DfsOnSummary(const summary::SummaryGraph& s, NodeId start) {
+  SummarySource src(s);
+  return DfsPreorder(src, start);
+}
+
+}  // namespace slugger::algs

@@ -1,0 +1,40 @@
+// Iterative depth-first search over any neighbor source (paper Alg. 5).
+#ifndef SLUGGER_ALGS_DFS_HPP_
+#define SLUGGER_ALGS_DFS_HPP_
+
+#include <vector>
+
+#include "algs/neighbor_source.hpp"
+
+namespace slugger::algs {
+
+/// Preorder visit sequence of the component containing `start`.
+template <typename Source>
+std::vector<NodeId> DfsPreorder(Source& src, NodeId start) {
+  std::vector<uint8_t> visited(src.num_nodes(), 0);
+  std::vector<NodeId> order;
+  std::vector<NodeId> stack{start};
+  visited[start] = 1;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    // Push in reverse so lower-numbered neighbors are visited first.
+    auto nbrs = src.Neighbors(u);
+    for (size_t i = nbrs.size(); i-- > 0;) {
+      NodeId v = nbrs[i];
+      if (!visited[v]) {
+        visited[v] = 1;
+        stack.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> DfsOnGraph(const graph::Graph& g, NodeId start);
+std::vector<NodeId> DfsOnSummary(const summary::SummaryGraph& s, NodeId start);
+
+}  // namespace slugger::algs
+
+#endif  // SLUGGER_ALGS_DFS_HPP_

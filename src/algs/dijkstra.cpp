@@ -1,0 +1,16 @@
+#include "algs/dijkstra.hpp"
+
+namespace slugger::algs {
+
+std::vector<uint64_t> DijkstraOnGraph(const graph::Graph& g, NodeId start) {
+  RawSource src(g);
+  return DijkstraDistances(src, start);
+}
+
+std::vector<uint64_t> DijkstraOnSummary(const summary::SummaryGraph& s,
+                                        NodeId start) {
+  SummarySource src(s);
+  return DijkstraDistances(src, start);
+}
+
+}  // namespace slugger::algs

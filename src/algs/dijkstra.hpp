@@ -1,0 +1,47 @@
+// Dijkstra's algorithm over any neighbor source.
+//
+// The paper runs unweighted graph algorithms directly on summaries; with
+// unit edge weights Dijkstra's distances must equal BFS hop counts, which
+// the test suite exploits as a cross-check.
+#ifndef SLUGGER_ALGS_DIJKSTRA_HPP_
+#define SLUGGER_ALGS_DIJKSTRA_HPP_
+
+#include <queue>
+#include <vector>
+
+#include "algs/neighbor_source.hpp"
+
+namespace slugger::algs {
+
+inline constexpr uint64_t kInfDistance = ~0ull;
+
+/// Unit-weight shortest-path distances from `start`.
+template <typename Source>
+std::vector<uint64_t> DijkstraDistances(Source& src, NodeId start) {
+  std::vector<uint64_t> dist(src.num_nodes(), kInfDistance);
+  using Item = std::pair<uint64_t, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[start] = 0;
+  heap.emplace(0, start);
+  while (!heap.empty()) {
+    auto [du, u] = heap.top();
+    heap.pop();
+    if (du != dist[u]) continue;  // stale entry
+    for (NodeId v : src.Neighbors(u)) {
+      uint64_t dv = du + 1;
+      if (dv < dist[v]) {
+        dist[v] = dv;
+        heap.emplace(dv, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> DijkstraOnGraph(const graph::Graph& g, NodeId start);
+std::vector<uint64_t> DijkstraOnSummary(const summary::SummaryGraph& s,
+                                        NodeId start);
+
+}  // namespace slugger::algs
+
+#endif  // SLUGGER_ALGS_DIJKSTRA_HPP_

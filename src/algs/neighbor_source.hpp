@@ -1,0 +1,45 @@
+// Neighbor-source concept: graph algorithms run unchanged on the raw CSR
+// graph or on a hierarchical summary via partial decompression (paper
+// §VIII-C). A Source provides num_nodes() and Neighbors(u).
+#ifndef SLUGGER_ALGS_NEIGHBOR_SOURCE_HPP_
+#define SLUGGER_ALGS_NEIGHBOR_SOURCE_HPP_
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "summary/neighbor_query.hpp"
+#include "summary/summary_graph.hpp"
+
+namespace slugger::algs {
+
+/// Adapter over an uncompressed graph.
+class RawSource {
+ public:
+  explicit RawSource(const graph::Graph& g) : g_(&g) {}
+  NodeId num_nodes() const { return g_->num_nodes(); }
+  std::span<const NodeId> Neighbors(NodeId u) { return g_->Neighbors(u); }
+
+ private:
+  const graph::Graph* g_;
+};
+
+/// Adapter over a summary: neighbors are decompressed on the fly
+/// (Algorithm 4), never materializing the whole graph.
+class SummarySource {
+ public:
+  explicit SummarySource(const summary::SummaryGraph& s)
+      : num_nodes_(s.num_leaves()), query_(s) {}
+  NodeId num_nodes() const { return num_nodes_; }
+  std::span<const NodeId> Neighbors(NodeId u) {
+    const std::vector<NodeId>& v = query_.Neighbors(u);
+    return {v.data(), v.size()};
+  }
+
+ private:
+  NodeId num_nodes_;
+  summary::NeighborQuery query_;
+};
+
+}  // namespace slugger::algs
+
+#endif  // SLUGGER_ALGS_NEIGHBOR_SOURCE_HPP_

@@ -1,0 +1,42 @@
+// PageRank by power iteration over any neighbor source (paper Alg. 6).
+#ifndef SLUGGER_ALGS_PAGERANK_HPP_
+#define SLUGGER_ALGS_PAGERANK_HPP_
+
+#include <vector>
+
+#include "algs/neighbor_source.hpp"
+
+namespace slugger::algs {
+
+/// Runs `iterations` rounds of the paper's undirected PageRank with
+/// damping factor d; isolated-node mass is redistributed uniformly.
+template <typename Source>
+std::vector<double> PageRank(Source& src, double d, uint32_t iterations) {
+  const NodeId n = src.num_nodes();
+  std::vector<double> rank(n, n ? 1.0 / n : 0.0);
+  std::vector<double> next(n, 0.0);
+  for (uint32_t t = 0; t < iterations; ++t) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      auto nbrs = src.Neighbors(u);
+      if (nbrs.empty()) continue;
+      double share = rank[u] / static_cast<double>(nbrs.size());
+      for (NodeId w : nbrs) next[w] += share;
+    }
+    double mass = 0.0;
+    for (double v : next) mass += v;
+    double teleport = (1.0 - d * mass) / static_cast<double>(n);
+    for (double& v : next) v = d * v + teleport;
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> PageRankOnGraph(const graph::Graph& g, double d,
+                                    uint32_t iterations);
+std::vector<double> PageRankOnSummary(const summary::SummaryGraph& s, double d,
+                                      uint32_t iterations);
+
+}  // namespace slugger::algs
+
+#endif  // SLUGGER_ALGS_PAGERANK_HPP_

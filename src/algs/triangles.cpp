@@ -1,0 +1,15 @@
+#include "algs/triangles.hpp"
+
+namespace slugger::algs {
+
+uint64_t TrianglesOnGraph(const graph::Graph& g) {
+  RawSource src(g);
+  return CountTriangles(src);
+}
+
+uint64_t TrianglesOnSummary(const summary::SummaryGraph& s) {
+  SummarySource src(s);
+  return CountTriangles(src);
+}
+
+}  // namespace slugger::algs

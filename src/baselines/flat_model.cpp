@@ -1,0 +1,123 @@
+#include "baselines/flat_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/edge_list.hpp"
+#include "util/hashing.hpp"
+
+namespace slugger::baselines {
+
+uint64_t FlatSummary::MembershipCost() const {
+  std::vector<uint32_t> sizes(num_groups, 0);
+  for (NodeId u = 0; u < num_nodes; ++u) ++sizes[group_of[u]];
+  uint64_t cost = 0;
+  for (uint32_t size : sizes) {
+    if (size >= 2) cost += size;
+  }
+  return cost;
+}
+
+FlatSummary EncodePartition(const graph::Graph& g,
+                            std::vector<uint32_t> group_of,
+                            uint32_t num_groups) {
+  FlatSummary out;
+  out.num_nodes = g.num_nodes();
+  out.num_groups = num_groups;
+  out.group_of = std::move(group_of);
+
+  std::vector<uint32_t> sizes(num_groups, 0);
+  std::vector<std::vector<NodeId>> members(num_groups);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ++sizes[out.group_of[u]];
+    members[out.group_of[u]].push_back(u);
+  }
+
+  // Subedge count per adjacent group pair.
+  std::unordered_map<uint64_t, uint64_t> edge_count;
+  edge_count.reserve(g.num_edges());
+  for (const Edge& e : g.Edges()) {
+    ++edge_count[PairKey(out.group_of[e.first], out.group_of[e.second])];
+  }
+
+  for (const auto& [key, e_ab] : edge_count) {
+    uint32_t a = PairFirst(key);
+    uint32_t b = PairSecond(key);
+    uint64_t t_ab = a == b ? static_cast<uint64_t>(sizes[a]) * (sizes[a] - 1) / 2
+                           : static_cast<uint64_t>(sizes[a]) * sizes[b];
+    uint64_t with_super = 1 + (t_ab - e_ab);
+    if (with_super < e_ab) {
+      // Superedge + negative corrections for the missing pairs.
+      out.superedges.emplace_back(a, b);
+      if (a == b) {
+        const auto& mem = members[a];
+        for (size_t i = 0; i < mem.size(); ++i) {
+          for (size_t j = i + 1; j < mem.size(); ++j) {
+            if (!g.HasEdge(mem[i], mem[j])) {
+              out.corrections_minus.push_back(MakeEdge(mem[i], mem[j]));
+            }
+          }
+        }
+      } else {
+        for (NodeId u : members[a]) {
+          for (NodeId v : members[b]) {
+            if (!g.HasEdge(u, v)) {
+              out.corrections_minus.push_back(MakeEdge(u, v));
+            }
+          }
+        }
+      }
+    }
+    // else: raw positive corrections (added in one sweep below).
+  }
+
+  // Positive corrections: edges of pairs without a superedge.
+  std::unordered_set<uint64_t> has_super;
+  has_super.reserve(out.superedges.size() * 2);
+  for (const auto& [a, b] : out.superedges) has_super.insert(PairKey(a, b));
+  for (const Edge& e : g.Edges()) {
+    uint64_t key = PairKey(out.group_of[e.first], out.group_of[e.second]);
+    if (!has_super.count(key)) out.corrections_plus.push_back(e);
+  }
+  return out;
+}
+
+graph::Graph DecodeFlat(const FlatSummary& summary) {
+  std::vector<std::vector<NodeId>> members(summary.num_groups);
+  for (NodeId u = 0; u < summary.num_nodes; ++u) {
+    members[summary.group_of[u]].push_back(u);
+  }
+
+  // Start from superedge expansions, then apply corrections.
+  std::unordered_set<uint64_t> edges;
+  for (const auto& [a, b] : summary.superedges) {
+    if (a == b) {
+      const auto& mem = members[a];
+      for (size_t i = 0; i < mem.size(); ++i) {
+        for (size_t j = i + 1; j < mem.size(); ++j) {
+          edges.insert(PairKey(mem[i], mem[j]));
+        }
+      }
+    } else {
+      for (NodeId u : members[a]) {
+        for (NodeId v : members[b]) edges.insert(PairKey(u, v));
+      }
+    }
+  }
+  for (const Edge& e : summary.corrections_plus) {
+    edges.insert(PairKey(e.first, e.second));
+  }
+  for (const Edge& e : summary.corrections_minus) {
+    edges.erase(PairKey(e.first, e.second));
+  }
+
+  graph::EdgeListBuilder builder(summary.num_nodes);
+  builder.EnsureNodes(summary.num_nodes);
+  for (uint64_t key : edges) builder.Add(PairFirst(key), PairSecond(key));
+  return graph::Graph::FromCanonicalEdges(summary.num_nodes,
+                                          builder.Finalize());
+}
+
+}  // namespace slugger::baselines

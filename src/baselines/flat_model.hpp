@@ -1,0 +1,56 @@
+// The flat (non-hierarchical) graph summarization model of Navlakha et al.
+// — the baseline representation G̃ = (S, P, C+, C-) of paper §II-A.
+//
+// S is a partition of V; a superedge (A, B) ∈ P asserts all pairs between
+// A and B; corrections C+ / C- fix the exceptions at subnode level.
+#ifndef SLUGGER_BASELINES_FLAT_MODEL_HPP_
+#define SLUGGER_BASELINES_FLAT_MODEL_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace slugger::baselines {
+
+/// A flat summary; group ids are dense in [0, num_groups).
+struct FlatSummary {
+  NodeId num_nodes = 0;
+  uint32_t num_groups = 0;
+  std::vector<uint32_t> group_of;  ///< node -> group
+  std::vector<std::pair<uint32_t, uint32_t>> superedges;  ///< P (a <= b)
+  std::vector<Edge> corrections_plus;                     ///< C+
+  std::vector<Edge> corrections_minus;                    ///< C-
+
+  /// |P| + |C+| + |C-| (the flat objective).
+  uint64_t Cost() const {
+    return superedges.size() + corrections_plus.size() +
+           corrections_minus.size();
+  }
+
+  /// Membership h-edges |H*| of Eq. 11: one per subnode inside a
+  /// non-singleton supernode.
+  uint64_t MembershipCost() const;
+
+  /// Eq. 11: (|P| + |C+| + |C-| + |H*|) / |E|.
+  double RelativeSize(uint64_t input_edges) const {
+    return input_edges == 0
+               ? 0.0
+               : static_cast<double>(Cost() + MembershipCost()) /
+                     static_cast<double>(input_edges);
+  }
+};
+
+/// Optimally encodes a given partition in O(|E|) (the SWeG encode step):
+/// per group pair, a superedge plus C- beats raw C+ iff it is cheaper.
+/// `group_of` entries must be < num_groups; empty groups are allowed.
+FlatSummary EncodePartition(const graph::Graph& g,
+                            std::vector<uint32_t> group_of,
+                            uint32_t num_groups);
+
+/// Reconstructs the graph a flat summary represents (for verification).
+graph::Graph DecodeFlat(const FlatSummary& summary);
+
+}  // namespace slugger::baselines
+
+#endif  // SLUGGER_BASELINES_FLAT_MODEL_HPP_

@@ -1,0 +1,220 @@
+#include "baselines/mosso.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace slugger::baselines {
+
+namespace {
+
+/// Online partition with node moves (groups are not merge-only here, so
+/// PartitionState's union-find does not apply).
+class MovablePartition {
+ public:
+  explicit MovablePartition(NodeId n) : group_of_(n), next_group_(n) {
+    for (NodeId u = 0; u < n; ++u) group_of_[u] = u;
+    size_.assign(n, 1);
+    within_.assign(n, 0);
+  }
+
+  uint32_t GroupOf(NodeId u) const { return group_of_[u]; }
+  uint32_t Size(uint32_t g) const { return size_[g]; }
+  uint64_t Within(uint32_t g) const { return within_[g]; }
+
+  uint64_t Cross(uint32_t a, uint32_t b) const {
+    auto it = cross_.find(PairKey(a, b));
+    return it == cross_.end() ? 0 : it->second;
+  }
+
+  /// Registers an inserted subedge (u, v) in the group-pair counts.
+  void AddEdge(NodeId u, NodeId v) {
+    uint32_t a = group_of_[u];
+    uint32_t b = group_of_[v];
+    if (a == b) {
+      ++within_[a];
+    } else {
+      ++cross_[PairKey(a, b)];
+    }
+  }
+
+  /// Moves x (with current neighbor list `nbrs`) to group `target`.
+  void Move(NodeId x, const std::vector<NodeId>& nbrs, uint32_t target) {
+    uint32_t from = group_of_[x];
+    if (from == target) return;
+    for (NodeId w : nbrs) {
+      uint32_t gw = group_of_[w];
+      if (gw == from) {
+        --within_[from];
+        ++cross_[PairKey(target, gw)];
+      } else if (gw == target) {
+        DecCross(from, gw);
+        ++within_[target];
+      } else {
+        DecCross(from, gw);
+        ++cross_[PairKey(target, gw)];
+      }
+    }
+    --size_[from];
+    ++size_[target];
+    group_of_[x] = target;
+  }
+
+  uint32_t FreshGroup() {
+    uint32_t id = next_group_++;
+    size_.push_back(0);
+    within_.push_back(0);
+    return id;
+  }
+
+  std::pair<std::vector<uint32_t>, uint32_t> DenseGroups() const {
+    std::unordered_map<uint32_t, uint32_t> label;
+    std::vector<uint32_t> dense(group_of_.size());
+    uint32_t next = 0;
+    for (size_t u = 0; u < group_of_.size(); ++u) {
+      auto [it, inserted] = label.emplace(group_of_[u], next);
+      if (inserted) ++next;
+      dense[u] = it->second;
+    }
+    return {std::move(dense), next};
+  }
+
+ private:
+  void DecCross(uint32_t a, uint32_t b) {
+    auto it = cross_.find(PairKey(a, b));
+    if (it != cross_.end() && --it->second == 0) cross_.erase(it);
+  }
+
+  std::vector<uint32_t> group_of_;
+  std::vector<uint32_t> size_;
+  std::vector<uint64_t> within_;
+  std::unordered_map<uint64_t, uint64_t> cross_;
+  uint32_t next_group_;
+};
+
+/// Flat cost of one pair given edge count e and capacity t.
+uint64_t PairCost(uint64_t e, uint64_t t) {
+  if (e == 0) return 0;
+  return std::min(e, 1 + t - e);
+}
+
+uint64_t SelfCap(uint64_t s) { return s * (s - 1) / 2; }
+
+}  // namespace
+
+FlatSummary SummarizeMosso(const graph::Graph& g, const MossoConfig& config) {
+  Rng rng(Mix64(config.seed ^ 0x305505ull));
+  MovablePartition part(g.num_nodes());
+
+  // Insertion-only stream in random order.
+  std::vector<Edge> stream = g.Edges();
+  rng.Shuffle(stream);
+
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  std::vector<uint32_t> cand;
+  std::unordered_map<uint32_t, uint32_t> nbr_cnt;  // neighbor group -> #edges
+
+  // Local cost delta of moving x from its group to `target`; considers the
+  // pairs touched by x's edges plus the two self pairs (a local
+  // approximation of MoSSo's trial move, DESIGN.md §4.6).
+  // `nbr_cnt` must already hold x's neighbor-group counts: it is computed
+  // once per trial and shared across all candidate targets (recomputing it
+  // per candidate made dense graphs quadratic).
+  auto move_delta = [&](NodeId x, uint32_t target) -> int64_t {
+    uint32_t from = part.GroupOf(x);
+    if (from == target) return 0;
+    uint64_t sa = part.Size(from);
+    uint64_t st = part.Size(target);
+
+    uint64_t to_from = 0;   // edges x -> rest of its own group
+    uint64_t to_target = 0; // edges x -> target members
+    if (auto it = nbr_cnt.find(from); it != nbr_cnt.end()) to_from = it->second;
+    if (auto it = nbr_cnt.find(target); it != nbr_cnt.end()) {
+      to_target = it->second;
+    }
+
+    int64_t before = 0;
+    int64_t after = 0;
+    // Self pairs.
+    before += PairCost(part.Within(from), SelfCap(sa));
+    before += PairCost(part.Within(target), SelfCap(st));
+    after += PairCost(part.Within(from) - to_from, SelfCap(sa - 1));
+    after += PairCost(part.Within(target) + to_target, SelfCap(st + 1));
+    // The (from, target) pair.
+    uint64_t e_ft = part.Cross(from, target);
+    before += PairCost(e_ft, sa * st);
+    after += PairCost(e_ft - to_target + to_from, (sa - 1) * (st + 1));
+    // Other pairs touched by x's edges.
+    for (const auto& [group, cnt] : nbr_cnt) {
+      if (group == from || group == target) continue;
+      uint64_t sg = part.Size(group);
+      uint64_t e_fg = part.Cross(from, group);
+      uint64_t e_tg = part.Cross(target, group);
+      before += PairCost(e_fg, sa * sg) + PairCost(e_tg, st * sg);
+      after += PairCost(e_fg - cnt, (sa - 1) * sg) +
+               PairCost(e_tg + cnt, (st + 1) * sg);
+    }
+    return after - before;
+  };
+
+  auto try_move = [&](NodeId x) {
+    if (adj[x].empty()) return;
+    // Trial moves cost O(deg(x)); hubs essentially never move profitably,
+    // so skip them (keeps the stream pass near-linear on clique-heavy
+    // graphs; quality is unaffected in practice).
+    if (adj[x].size() > 512) return;
+    nbr_cnt.clear();
+    for (NodeId w : adj[x]) ++nbr_cnt[part.GroupOf(w)];
+    if (rng.Chance(config.escape_prob)) {
+      // Escape: x leaves for a fresh singleton if that does not hurt.
+      if (part.Size(part.GroupOf(x)) > 1) {
+        uint32_t fresh = part.FreshGroup();
+        if (move_delta(x, fresh) <= 0) part.Move(x, adj[x], fresh);
+      }
+      return;
+    }
+    // Sample up to c random neighbors; their groups are the candidates.
+    cand.clear();
+    uint32_t samples =
+        static_cast<uint32_t>(std::min<size_t>(config.num_samples,
+                                               adj[x].size()));
+    for (uint32_t s = 0; s < samples; ++s) {
+      NodeId w = adj[x][rng.Below(adj[x].size())];
+      cand.push_back(part.GroupOf(w));
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    // Evaluating a trial move costs O(distinct neighbor groups); cap the
+    // candidate list so clique-heavy graphs stay near-linear. Sampling
+    // order already favors frequently-seen groups.
+    if (cand.size() > 8) cand.resize(8);
+
+    int64_t best_delta = 0;
+    uint32_t best = part.GroupOf(x);
+    for (uint32_t target : cand) {
+      if (target == part.GroupOf(x)) continue;
+      int64_t delta = move_delta(x, target);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = target;
+      }
+    }
+    if (best != part.GroupOf(x)) part.Move(x, adj[x], best);
+  };
+
+  for (const Edge& e : stream) {
+    adj[e.first].push_back(e.second);
+    adj[e.second].push_back(e.first);
+    part.AddEdge(e.first, e.second);
+    try_move(e.first);
+    try_move(e.second);
+  }
+
+  auto [dense, count] = part.DenseGroups();
+  return EncodePartition(g, std::move(dense), count);
+}
+
+}  // namespace slugger::baselines

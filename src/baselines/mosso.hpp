@@ -1,0 +1,28 @@
+// MoSSo incremental flat summarization (Ko et al., KDD'20).
+//
+// Processes the edge list as an insertion-only stream. On each insertion,
+// each endpoint either escapes to a singleton (probability e) or samples up
+// to c candidate groups through random neighbors and greedily moves to the
+// best one by local flat-cost delta. A final optimal encode emits the
+// summary. This is a faithful-granularity port of the published getRandom-
+// Neighbor / trial-move loop, not of every implementation detail
+// (DESIGN.md §4.6).
+#ifndef SLUGGER_BASELINES_MOSSO_HPP_
+#define SLUGGER_BASELINES_MOSSO_HPP_
+
+#include "baselines/flat_model.hpp"
+#include "graph/graph.hpp"
+
+namespace slugger::baselines {
+
+struct MossoConfig {
+  double escape_prob = 0.3;   ///< e (paper §IV-A)
+  uint32_t num_samples = 120; ///< c
+  uint64_t seed = 0;
+};
+
+FlatSummary SummarizeMosso(const graph::Graph& g, const MossoConfig& config);
+
+}  // namespace slugger::baselines
+
+#endif  // SLUGGER_BASELINES_MOSSO_HPP_

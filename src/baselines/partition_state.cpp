@@ -1,0 +1,120 @@
+#include "baselines/partition_state.hpp"
+
+#include <algorithm>
+
+namespace slugger::baselines {
+
+PartitionState::PartitionState(const graph::Graph& g)
+    : graph_(&g), dsu_(g.num_nodes()) {
+  const NodeId n = g.num_nodes();
+  size_.assign(n, 1);
+  members_.resize(n);
+  adj_.resize(n);
+  within_.assign(n, 0);
+  for (NodeId u = 0; u < n; ++u) members_[u] = {u};
+  for (const Edge& e : g.Edges()) {
+    ++adj_[e.first].GetOrInsert(e.second, 0);
+    ++adj_[e.second].GetOrInsert(e.first, 0);
+  }
+}
+
+uint64_t PartitionState::PairCost(uint32_t a, uint32_t b) const {
+  uint64_t e;
+  uint64_t t;
+  if (a == b) {
+    e = within_[a];
+    t = static_cast<uint64_t>(size_[a]) * (size_[a] - 1) / 2;
+  } else {
+    const uint32_t* v = adj_[a].Find(b);
+    e = v != nullptr ? *v : 0;
+    t = static_cast<uint64_t>(size_[a]) * size_[b];
+  }
+  if (e == 0) return 0;
+  return std::min(e, 1 + t - e);
+}
+
+uint64_t PartitionState::GroupCost(uint32_t group) const {
+  uint64_t cost = PairCost(group, group);
+  adj_[group].ForEach([&](uint32_t other, uint32_t) {
+    cost += PairCost(group, other);
+  });
+  return cost;
+}
+
+uint64_t PartitionState::MergedCost(uint32_t a, uint32_t b) const {
+  uint64_t merged_size = static_cast<uint64_t>(size_[a]) + size_[b];
+  // Self pair of the merged group.
+  uint64_t e_self = within_[a] + within_[b] + EdgesBetween(a, b);
+  uint64_t t_self = merged_size * (merged_size - 1) / 2;
+  uint64_t cost = e_self == 0 ? 0 : std::min(e_self, 1 + t_self - e_self);
+  // Cross pairs: union of both adjacency maps (shared neighbors combined).
+  auto cross = [&](uint32_t other) {
+    uint64_t e = EdgesBetween(a, other) + EdgesBetween(b, other);
+    uint64_t t = merged_size * size_[other];
+    return e == 0 ? uint64_t{0} : std::min(e, 1 + t - e);
+  };
+  adj_[a].ForEach([&](uint32_t other, uint32_t) {
+    if (other != b) cost += cross(other);
+  });
+  adj_[b].ForEach([&](uint32_t other, uint32_t) {
+    if (other != a && !adj_[a].Contains(other)) cost += cross(other);
+  });
+  return cost;
+}
+
+double PartitionState::Saving(uint32_t a, uint32_t b) const {
+  uint64_t before = GroupCost(a) + GroupCost(b);
+  if (before == 0) return -1.0;
+  uint64_t after = MergedCost(a, b);
+  return 1.0 - static_cast<double>(after) / static_cast<double>(before);
+}
+
+uint32_t PartitionState::Merge(uint32_t a, uint32_t b) {
+  uint64_t between = EdgesBetween(a, b);
+  uint32_t rep = dsu_.Unite(a, b);
+  uint32_t gone = rep == a ? b : a;
+
+  size_[rep] = size_[a] + size_[b];
+  within_[rep] = within_[a] + within_[b] + between;
+  if (members_[gone].size() > members_[rep].size()) {
+    members_[gone].swap(members_[rep]);
+  }
+  members_[rep].insert(members_[rep].end(), members_[gone].begin(),
+                       members_[gone].end());
+  members_[gone].clear();
+  members_[gone].shrink_to_fit();
+
+  // Fold adjacency of `gone` into `rep`, rewriting the reverse direction.
+  adj_[gone].ForEach([&](uint32_t other, uint32_t count) {
+    if (other == rep) return;  // became within
+    adj_[other].Erase(gone);
+    adj_[other].GetOrInsert(rep, 0) += count;
+    adj_[rep].GetOrInsert(other, 0) += count;
+  });
+  adj_[rep].Erase(gone);
+  adj_[gone].clear();
+  return rep;
+}
+
+std::pair<std::vector<uint32_t>, uint32_t> PartitionState::DenseGroups() {
+  const NodeId n = graph_->num_nodes();
+  std::vector<uint32_t> dense(n, 0xFFFFFFFFu);
+  std::vector<uint32_t> label(n, 0xFFFFFFFFu);
+  uint32_t next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t rep = dsu_.Find(u);
+    if (label[rep] == 0xFFFFFFFFu) label[rep] = next++;
+    dense[u] = label[rep];
+  }
+  return {std::move(dense), next};
+}
+
+std::vector<uint32_t> PartitionState::GroupIds() {
+  std::vector<uint32_t> out;
+  for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
+    if (dsu_.Find(u) == u) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace slugger::baselines

@@ -1,0 +1,79 @@
+// Shared mutable partition state for the flat-model baselines.
+//
+// Tracks a partition of V into groups (disjoint supernodes) with member
+// lists, per-group adjacent-group subedge counts, and the flat encoding
+// cost terms min(e, 1 + t - e) the heuristics optimize.
+#ifndef SLUGGER_BASELINES_PARTITION_STATE_HPP_
+#define SLUGGER_BASELINES_PARTITION_STATE_HPP_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/dsu.hpp"
+#include "util/flat_map.hpp"
+
+namespace slugger::baselines {
+
+class PartitionState {
+ public:
+  explicit PartitionState(const graph::Graph& g);
+
+  const graph::Graph& input() const { return *graph_; }
+
+  /// Group (representative id) containing node u.
+  uint32_t GroupOf(NodeId u) { return dsu_.Find(u); }
+
+  uint32_t GroupSize(uint32_t group) const { return size_[group]; }
+  const std::vector<NodeId>& Members(uint32_t group) const {
+    return members_[group];
+  }
+
+  /// Adjacent groups with subedge counts (self-pairs tracked separately).
+  const FlatCountMap& GroupAdj(uint32_t group) const { return adj_[group]; }
+
+  /// Subedges with both endpoints in the group.
+  uint64_t WithinCount(uint32_t group) const { return within_[group]; }
+
+  /// Subedges between two distinct groups.
+  uint64_t EdgesBetween(uint32_t a, uint32_t b) const {
+    const uint32_t* v = adj_[a].Find(b);
+    return v != nullptr ? *v : 0;
+  }
+
+  /// Flat encoding cost of one group pair: min(e, 1 + t - e); 0 if e == 0.
+  uint64_t PairCost(uint32_t a, uint32_t b) const;
+
+  /// Navlakha cost of a group: sum of PairCost over incident pairs
+  /// (including the self pair).
+  uint64_t GroupCost(uint32_t group) const;
+
+  /// Cost of the merged group a ∪ b (as if merged), per incident pair.
+  uint64_t MergedCost(uint32_t a, uint32_t b) const;
+
+  /// Navlakha saving of merging a and b:
+  /// (cost(a) + cost(b) - cost(a ∪ b)) / (cost(a) + cost(b)).
+  double Saving(uint32_t a, uint32_t b) const;
+
+  /// Merges the groups; returns the surviving representative.
+  uint32_t Merge(uint32_t a, uint32_t b);
+
+  /// Dense group labeling for EncodePartition.
+  std::pair<std::vector<uint32_t>, uint32_t> DenseGroups();
+
+  /// All current group representatives.
+  std::vector<uint32_t> GroupIds();
+
+ private:
+  const graph::Graph* graph_;
+  Dsu dsu_;
+  std::vector<uint32_t> size_;
+  std::vector<std::vector<NodeId>> members_;
+  std::vector<FlatCountMap> adj_;
+  std::vector<uint64_t> within_;
+};
+
+}  // namespace slugger::baselines
+
+#endif  // SLUGGER_BASELINES_PARTITION_STATE_HPP_

@@ -1,0 +1,82 @@
+#include "baselines/randomized.hpp"
+
+#include <vector>
+
+#include "baselines/partition_state.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace slugger::baselines {
+
+FlatSummary SummarizeRandomized(const graph::Graph& g,
+                                const RandomizedConfig& config) {
+  PartitionState state(g);
+  Rng rng(config.seed);
+  WallTimer timer;
+
+  // Unfinished pool of group representatives.
+  std::vector<uint32_t> pool(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) pool[u] = u;
+
+  std::vector<uint32_t> candidates;
+  std::vector<uint32_t> stamp(g.num_nodes(), 0);
+  uint32_t epoch = 0;
+
+  while (!pool.empty()) {
+    if (config.time_budget_seconds > 0.0 &&
+        timer.Seconds() > config.time_budget_seconds) {
+      break;
+    }
+    size_t idx = rng.Below(pool.size());
+    uint32_t u = pool[idx];
+    if (state.GroupOf(u) != u) {  // stale entry (merged away)
+      pool[idx] = pool.back();
+      pool.pop_back();
+      continue;
+    }
+
+    // Collect 2-hop candidate groups (group adjacency squared), subsampled.
+    ++epoch;
+    candidates.clear();
+    stamp[u] = epoch;
+    auto consider = [&](uint32_t group) {
+      if (stamp[group] != epoch) {
+        stamp[group] = epoch;
+        candidates.push_back(group);
+      }
+    };
+    state.GroupAdj(u).ForEach([&](uint32_t nbr, uint32_t) {
+      consider(nbr);
+      if (candidates.size() < config.max_candidates * 4) {
+        state.GroupAdj(nbr).ForEach(
+            [&](uint32_t two_hop, uint32_t) { consider(two_hop); });
+      }
+    });
+    if (candidates.size() > config.max_candidates) {
+      rng.Shuffle(candidates);
+      candidates.resize(config.max_candidates);
+    }
+
+    double best_saving = 0.0;
+    uint32_t best = 0xFFFFFFFFu;
+    for (uint32_t v : candidates) {
+      double s = state.Saving(u, v);
+      if (s > best_saving) {
+        best_saving = s;
+        best = v;
+      }
+    }
+    if (best != 0xFFFFFFFFu && best_saving > 0.0) {
+      uint32_t rep = state.Merge(u, best);
+      pool[idx] = rep;  // merged group stays unfinished
+    } else {
+      pool[idx] = pool.back();  // u is finished
+      pool.pop_back();
+    }
+  }
+
+  auto [dense, count] = state.DenseGroups();
+  return EncodePartition(g, std::move(dense), count);
+}
+
+}  // namespace slugger::baselines

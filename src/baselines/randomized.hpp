@@ -1,0 +1,30 @@
+// RANDOMIZED flat summarization (Navlakha et al., SIGMOD'08).
+//
+// Repeatedly picks a random unfinished supernode u and merges it with the
+// 2-hop neighbor maximizing the flat-model saving, if positive; otherwise
+// u is finished. The slowest baseline (the paper reports it timing out on
+// large graphs), so a wall-clock budget is supported.
+#ifndef SLUGGER_BASELINES_RANDOMIZED_HPP_
+#define SLUGGER_BASELINES_RANDOMIZED_HPP_
+
+#include "baselines/flat_model.hpp"
+#include "graph/graph.hpp"
+
+namespace slugger::baselines {
+
+struct RandomizedConfig {
+  uint64_t seed = 0;
+  /// Candidates examined per pick (2-hop supernodes can explode around
+  /// hubs; the excess is subsampled).
+  uint32_t max_candidates = 64;
+  /// Abort merging after this many seconds (0 = unlimited) and encode what
+  /// has been built so far; mirrors the paper's time-outs.
+  double time_budget_seconds = 0.0;
+};
+
+FlatSummary SummarizeRandomized(const graph::Graph& g,
+                                const RandomizedConfig& config);
+
+}  // namespace slugger::baselines
+
+#endif  // SLUGGER_BASELINES_RANDOMIZED_HPP_

@@ -1,0 +1,61 @@
+#include "baselines/sags.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/partition_state.hpp"
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace slugger::baselines {
+
+FlatSummary SummarizeSags(const graph::Graph& g, const SagsConfig& config) {
+  PartitionState state(g);
+  Rng rng(Mix64(config.seed ^ 0x5A6511ull));
+
+  const uint32_t rows = std::max(1u, config.num_hashes / config.bands);
+
+  // One pass per band: bucket groups by the band signature and merge
+  // sampled bucket-mates pairwise.
+  std::vector<std::pair<uint64_t, uint32_t>> keyed;
+  for (uint32_t band = 0; band < config.bands; ++band) {
+    std::vector<uint32_t> ids = state.GroupIds();
+    keyed.clear();
+    keyed.reserve(ids.size());
+    for (uint32_t id : ids) {
+      // Band signature: combined min-hashes of `rows` hash functions over
+      // the group's closed neighborhood.
+      uint64_t signature = 0xcbf29ce484222325ull;
+      for (uint32_t r = 0; r < rows; ++r) {
+        KeyedHash h(Mix64(config.seed ^ (band * 131 + r)));
+        uint64_t best = ~0ull;
+        for (NodeId u : state.Members(id)) {
+          best = std::min(best, h(u));
+          for (NodeId v : g.Neighbors(u)) best = std::min(best, h(v));
+        }
+        signature = (signature ^ best) * 0x100000001B3ull;
+      }
+      keyed.emplace_back(signature, id);
+    }
+    std::sort(keyed.begin(), keyed.end());
+
+    size_t i = 0;
+    while (i < keyed.size()) {
+      size_t j = i + 1;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+      // Merge sampled consecutive pairs inside the bucket.
+      for (size_t k = i + 1; k < j; ++k) {
+        if (rng.Chance(config.sample_prob)) {
+          state.Merge(state.GroupOf(keyed[i].second),
+                      state.GroupOf(keyed[k].second));
+        }
+      }
+      i = j;
+    }
+  }
+
+  auto [dense, count] = state.DenseGroups();
+  return EncodePartition(g, std::move(dense), count);
+}
+
+}  // namespace slugger::baselines

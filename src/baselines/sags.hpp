@@ -1,0 +1,26 @@
+// SAGS flat summarization (Khan et al., Computing 2015).
+//
+// Locality-sensitive hashing picks merge candidates without evaluating the
+// cost reduction: per pass, min-hash signatures are split into b bands;
+// supernodes sharing a band bucket are paired and merged with sampling
+// probability p. Fastest baseline, least concise (paper §IV-C).
+#ifndef SLUGGER_BASELINES_SAGS_HPP_
+#define SLUGGER_BASELINES_SAGS_HPP_
+
+#include "baselines/flat_model.hpp"
+#include "graph/graph.hpp"
+
+namespace slugger::baselines {
+
+struct SagsConfig {
+  uint32_t num_hashes = 30;  ///< h (paper §IV-A)
+  uint32_t bands = 10;       ///< b
+  double sample_prob = 0.3;  ///< p
+  uint64_t seed = 0;
+};
+
+FlatSummary SummarizeSags(const graph::Graph& g, const SagsConfig& config);
+
+}  // namespace slugger::baselines
+
+#endif  // SLUGGER_BASELINES_SAGS_HPP_

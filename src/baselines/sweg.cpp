@@ -1,0 +1,159 @@
+#include "baselines/sweg.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/partition_state.hpp"
+#include "util/hashing.hpp"
+#include "util/random.hpp"
+
+namespace slugger::baselines {
+
+namespace {
+
+/// Shingle of a group: min over members u of min hash over {u} ∪ N(u).
+uint64_t GroupShingle(const PartitionState& state, const graph::Graph& g,
+                      uint32_t group, const KeyedHash& h) {
+  uint64_t best = ~0ull;
+  for (NodeId u : state.Members(group)) {
+    best = std::min(best, h(u));
+    for (NodeId v : g.Neighbors(u)) best = std::min(best, h(v));
+  }
+  return best;
+}
+
+/// Sorted unique subnode neighborhood of a group, N(A) = ∪_{u∈A} N(u).
+void GroupNeighborhood(const PartitionState& state, const graph::Graph& g,
+                       uint32_t group, std::vector<NodeId>* out) {
+  out->clear();
+  for (NodeId u : state.Members(group)) {
+    const auto nbrs = g.Neighbors(u);
+    out->insert(out->end(), nbrs.begin(), nbrs.end());
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+/// Jaccard of two sorted sets.
+double SortedJaccard(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+FlatSummary SummarizeSweg(const graph::Graph& g, const SwegConfig& config) {
+  PartitionState state(g);
+  Rng rng(Mix64(config.seed ^ 0x5E5E5E5Eull));
+
+  std::vector<std::vector<NodeId>> hood;  // per group member neighborhoods
+  for (uint32_t t = 1; t <= config.iterations; ++t) {
+    double theta = t < config.iterations ? 1.0 / (1.0 + t) : 0.0;
+
+    // ---- Dividing step: shingle groups, re-divide oversized ones. ----
+    struct Pending {
+      std::vector<uint32_t> groups;
+      uint32_t level;
+    };
+    std::vector<Pending> work;
+    work.push_back({state.GroupIds(), 0});
+    std::vector<std::vector<uint32_t>> final_groups;
+    std::vector<std::pair<uint64_t, uint32_t>> keyed;
+    while (!work.empty()) {
+      Pending grp = std::move(work.back());
+      work.pop_back();
+      if (grp.groups.size() <= 1) continue;
+      if (grp.level >= config.shingle_levels) {
+        rng.Shuffle(grp.groups);
+        for (size_t s = 0; s < grp.groups.size(); s += config.max_group_size) {
+          size_t e = std::min(s + config.max_group_size, grp.groups.size());
+          if (e - s >= 2) {
+            final_groups.emplace_back(grp.groups.begin() + s,
+                                      grp.groups.begin() + e);
+          }
+        }
+        continue;
+      }
+      KeyedHash h(Mix64(config.seed ^ (t * 0x1234567ull) ^
+                        (grp.level * 0xFEDCBA9ull)));
+      keyed.clear();
+      for (uint32_t id : grp.groups) {
+        keyed.emplace_back(GroupShingle(state, g, id, h), id);
+      }
+      std::sort(keyed.begin(), keyed.end());
+      size_t i = 0;
+      while (i < keyed.size()) {
+        size_t j = i + 1;
+        while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+        if (j - i >= 2) {
+          std::vector<uint32_t> sub;
+          for (size_t k = i; k < j; ++k) sub.push_back(keyed[k].second);
+          if (sub.size() <= config.max_group_size) {
+            final_groups.push_back(std::move(sub));
+          } else {
+            work.push_back({std::move(sub), grp.level + 1});
+          }
+        }
+        i = j;
+      }
+    }
+
+    // ---- Merging step: greedy SuperJaccard within each group. ----
+    for (std::vector<uint32_t>& q : final_groups) {
+      hood.assign(q.size(), {});
+      for (size_t i = 0; i < q.size(); ++i) {
+        GroupNeighborhood(state, g, q[i], &hood[i]);
+      }
+      std::vector<uint8_t> gone(q.size(), 0);
+      // Process each element once, in random order.
+      std::vector<uint32_t> order(q.size());
+      for (size_t i = 0; i < q.size(); ++i) order[i] = static_cast<uint32_t>(i);
+      rng.Shuffle(order);
+      for (uint32_t ai : order) {
+        if (gone[ai]) continue;
+        double best_sim = -1.0;
+        size_t best = q.size();
+        for (size_t bi = 0; bi < q.size(); ++bi) {
+          if (bi == ai || gone[bi]) continue;
+          double sim = SortedJaccard(hood[ai], hood[bi]);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = bi;
+          }
+        }
+        // Jaccard picks the partner; the actual merge test compares the
+        // flat-model saving against θ(t) (SWeG's merging step).
+        if (best < q.size() && state.Saving(q[ai], q[best]) >= theta) {
+          uint32_t rep = state.Merge(q[ai], q[best]);
+          // The merged group lives on under `ai`'s slot.
+          q[ai] = rep;
+          gone[best] = 1;
+          // Refresh the merged neighborhood in place.
+          std::vector<NodeId> merged;
+          merged.reserve(hood[ai].size() + hood[best].size());
+          std::merge(hood[ai].begin(), hood[ai].end(), hood[best].begin(),
+                     hood[best].end(), std::back_inserter(merged));
+          merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+          hood[ai] = std::move(merged);
+        }
+      }
+    }
+  }
+
+  auto [dense, count] = state.DenseGroups();
+  return EncodePartition(g, std::move(dense), count);
+}
+
+}  // namespace slugger::baselines

@@ -1,0 +1,26 @@
+// SWeG flat summarization (Shin et al., WWW'19), lossless mode (ε = 0).
+//
+// T iterations of: (1) divide supernodes into groups by min-hash shingles
+// over member neighborhoods, (2) inside each group greedily merge pairs
+// whose SuperJaccard similarity clears θ(t) = 1/(1+t); then one optimal
+// encode. SLUGGER's strongest competitor throughout the paper.
+#ifndef SLUGGER_BASELINES_SWEG_HPP_
+#define SLUGGER_BASELINES_SWEG_HPP_
+
+#include "baselines/flat_model.hpp"
+#include "graph/graph.hpp"
+
+namespace slugger::baselines {
+
+struct SwegConfig {
+  uint32_t iterations = 20;  ///< T (paper §IV-A)
+  uint64_t seed = 0;
+  uint32_t max_group_size = 500;
+  uint32_t shingle_levels = 10;
+};
+
+FlatSummary SummarizeSweg(const graph::Graph& g, const SwegConfig& config);
+
+}  // namespace slugger::baselines
+
+#endif  // SLUGGER_BASELINES_SWEG_HPP_

@@ -1,0 +1,89 @@
+#include "core/candidate_generation.hpp"
+
+#include <algorithm>
+
+#include "util/hashing.hpp"
+
+namespace slugger::core {
+
+uint64_t CandidateGenerator::NodeShingle(NodeId u, uint64_t hash_key) const {
+  KeyedHash h(hash_key);
+  uint64_t best = h(u);
+  for (NodeId v : graph_->Neighbors(u)) {
+    best = std::min(best, h(v));
+  }
+  return best;
+}
+
+std::vector<std::vector<SupernodeId>> CandidateGenerator::Generate(
+    SluggerState& state, uint32_t iteration) {
+  const summary::HierarchyForest& forest = state.summary().forest();
+  Rng rng(Mix64(seed_ ^ (0x9E3779B9ull * iteration)));
+
+  struct Pending {
+    std::vector<SupernodeId> roots;
+    uint32_t level;
+  };
+
+  std::vector<Pending> work;
+  work.push_back({state.roots(), 0});
+  std::vector<std::vector<SupernodeId>> out;
+
+  std::vector<std::pair<uint64_t, SupernodeId>> keyed;
+  while (!work.empty()) {
+    Pending group = std::move(work.back());
+    work.pop_back();
+    if (group.roots.size() <= 1) continue;
+    if (group.roots.size() <= max_group_size_ && group.level > 0) {
+      out.push_back(std::move(group.roots));
+      continue;
+    }
+    if (group.level >= shingle_levels_) {
+      // Random division down to the size cap.
+      rng.Shuffle(group.roots);
+      for (size_t start = 0; start < group.roots.size();
+           start += max_group_size_) {
+        size_t end = std::min(start + max_group_size_, group.roots.size());
+        if (end - start >= 2) {
+          out.emplace_back(group.roots.begin() + static_cast<int64_t>(start),
+                           group.roots.begin() + static_cast<int64_t>(end));
+        }
+      }
+      continue;
+    }
+
+    // Shingle-divide this group with a fresh hash for (iteration, level).
+    uint64_t hash_key =
+        Mix64(seed_ ^ (iteration * 0xA5A5A5A5ull) ^ (group.level * 0x5151FF11ull));
+    keyed.clear();
+    keyed.reserve(group.roots.size());
+    for (SupernodeId r : group.roots) {
+      uint64_t shingle = ~0ull;
+      forest.ForEachLeaf(r, [&](NodeId u) {
+        shingle = std::min(shingle, NodeShingle(u, hash_key));
+      });
+      keyed.emplace_back(shingle, r);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    size_t i = 0;
+    while (i < keyed.size()) {
+      size_t j = i + 1;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+      size_t len = j - i;
+      if (len >= 2) {
+        std::vector<SupernodeId> sub;
+        sub.reserve(len);
+        for (size_t k = i; k < j; ++k) sub.push_back(keyed[k].second);
+        if (len <= max_group_size_) {
+          out.push_back(std::move(sub));
+        } else {
+          work.push_back({std::move(sub), group.level + 1});
+        }
+      }
+      i = j;
+    }
+  }
+  return out;
+}
+
+}  // namespace slugger::core

@@ -1,0 +1,46 @@
+// Candidate generation via min-hash shingles (paper §III-B2).
+//
+// Roots whose subnodes share a minimum hash over their closed neighborhoods
+// (in the ORIGINAL graph) land in the same candidate set; such roots are
+// within distance 2 of each other with high probability, and Lemma 1 shows
+// distance >= 3 merges never pay off. Oversized sets are re-divided with
+// fresh hashes up to `shingle_levels` times, then split randomly to the
+// `max_group_size` cap (the paper uses 500).
+#ifndef SLUGGER_CORE_CANDIDATE_GENERATION_HPP_
+#define SLUGGER_CORE_CANDIDATE_GENERATION_HPP_
+
+#include <vector>
+
+#include "core/slugger_state.hpp"
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace slugger::core {
+
+class CandidateGenerator {
+ public:
+  CandidateGenerator(const graph::Graph& g, uint64_t seed,
+                     uint32_t max_group_size, uint32_t shingle_levels)
+      : graph_(&g),
+        seed_(seed),
+        max_group_size_(max_group_size),
+        shingle_levels_(shingle_levels) {}
+
+  /// Divides the current roots into candidate sets for iteration t.
+  /// Groups of size 1 are omitted (nothing to merge).
+  std::vector<std::vector<SupernodeId>> Generate(SluggerState& state,
+                                                 uint32_t iteration);
+
+ private:
+  /// Shingle f(u) = min hash over {u} ∪ N(u) with the level hash.
+  uint64_t NodeShingle(NodeId u, uint64_t hash_key) const;
+
+  const graph::Graph* graph_;
+  uint64_t seed_;
+  uint32_t max_group_size_;
+  uint32_t shingle_levels_;
+};
+
+}  // namespace slugger::core
+
+#endif  // SLUGGER_CORE_CANDIDATE_GENERATION_HPP_

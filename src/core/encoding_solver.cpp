@@ -1,0 +1,168 @@
+#include "core/encoding_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace slugger::core {
+
+namespace {
+
+struct SearchState {
+  const Universe* universe;
+  int8_t residual[16];
+  uint64_t used_slots = 0;
+  uint64_t nodes = 0;
+  uint64_t node_budget = 0;
+  std::vector<std::pair<uint8_t, int8_t>> chosen;
+  bool aborted = false;
+
+  int FirstUnresolvedClass() const {
+    for (int c = 0; c < universe->num_classes; ++c) {
+      if ((universe->active_mask >> c & 1) && residual[c] != 0) return c;
+    }
+    return -1;
+  }
+
+  int MaxResidual() const {
+    int best = 0;
+    for (int c = 0; c < universe->num_classes; ++c) {
+      int v = residual[c] < 0 ? -residual[c] : residual[c];
+      if (v > best) best = v;
+    }
+    return best;
+  }
+
+  void Apply(uint8_t slot, int8_t sign) {
+    const Slot& s = universe->slots[slot];
+    for (int c = 0; c < universe->num_classes; ++c) {
+      if (s.cover >> c & 1) residual[c] = static_cast<int8_t>(residual[c] - sign);
+    }
+    used_slots |= 1ull << slot;
+    chosen.emplace_back(slot, sign);
+  }
+
+  void Undo(uint8_t slot, int8_t sign) {
+    const Slot& s = universe->slots[slot];
+    for (int c = 0; c < universe->num_classes; ++c) {
+      if (s.cover >> c & 1) residual[c] = static_cast<int8_t>(residual[c] + sign);
+    }
+    used_slots &= ~(1ull << slot);
+    chosen.pop_back();
+  }
+
+  bool Dfs(int depth_left) {
+    if (++nodes > node_budget) {
+      aborted = true;
+      return false;
+    }
+    int c = FirstUnresolvedClass();
+    if (c < 0) return true;  // all residuals zero: solution found
+    if (MaxResidual() > depth_left) return false;
+    int8_t sign = residual[c] > 0 ? 1 : -1;
+    for (uint8_t slot : universe->covering_slots[c]) {
+      if (used_slots >> slot & 1) continue;
+      Apply(slot, sign);
+      if (Dfs(depth_left - 1)) return true;
+      Undo(slot, sign);
+      if (aborted) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SolvedEncoding SolveMinimumEncoding(const Universe& universe,
+                                    const int8_t* target,
+                                    uint64_t node_budget) {
+  assert(universe.num_classes <= 16);
+  SearchState state;
+  state.universe = &universe;
+  state.node_budget = node_budget;
+
+  int abs_sum = 0;
+  bool identity_ok = true;
+  for (int c = 0; c < universe.num_classes; ++c) {
+    int8_t t = (universe.active_mask >> c & 1) ? target[c] : 0;
+    state.residual[c] = t;
+    abs_sum += t < 0 ? -t : t;
+    if (t < -1 || t > 1) identity_ok = false;
+  }
+
+  // Upper bound: the per-class identity encoding when all |t| <= 1;
+  // otherwise a slack bound (targets outside {-1,0,1} are not produced by
+  // SLUGGER itself but the solver stays total for robustness).
+  int upper = identity_ok ? abs_sum : abs_sum + 4;
+  if (static_cast<size_t>(upper) > universe.slots.size() + 4) {
+    upper = static_cast<int>(universe.slots.size()) + 4;
+  }
+
+  SolvedEncoding out;
+  for (int limit = 0; limit <= upper; ++limit) {
+    state.chosen.clear();
+    state.used_slots = 0;
+    if (state.Dfs(limit)) {
+      out.feasible = true;
+      out.edges = state.chosen;
+      return out;
+    }
+    if (state.aborted) break;
+  }
+  return out;  // infeasible (or search budget exhausted)
+}
+
+SolvedEncoding SolveByBruteForce(const Universe& universe, const int8_t* target,
+                                 int max_cost) {
+  const size_t n = universe.slots.size();
+  SolvedEncoding best;
+  std::vector<std::pair<uint8_t, int8_t>> current;
+
+  // Enumerate subsets in increasing size via simple recursion with signs.
+  struct Ctx {
+    const Universe& u;
+    const int8_t* target;
+    SolvedEncoding* best;
+    std::vector<std::pair<uint8_t, int8_t>>* current;
+    size_t n;
+
+    bool Matches() const {
+      int sum[16] = {0};
+      for (auto [slot, sign] : *current) {
+        for (int c = 0; c < u.num_classes; ++c) {
+          if (u.slots[slot].cover >> c & 1) sum[c] += sign;
+        }
+      }
+      for (int c = 0; c < u.num_classes; ++c) {
+        if (!(u.active_mask >> c & 1)) continue;
+        if (sum[c] != target[c]) return false;
+      }
+      return true;
+    }
+
+    void Rec(size_t from, int remaining) {
+      if (best->feasible &&
+          current->size() >= best->edges.size()) {
+        return;
+      }
+      if (Matches()) {
+        best->feasible = true;
+        best->edges = *current;
+        return;
+      }
+      if (remaining == 0 || from >= n) return;
+      for (size_t s = from; s < n; ++s) {
+        for (int8_t sign : {int8_t{1}, int8_t{-1}}) {
+          current->emplace_back(static_cast<uint8_t>(s), sign);
+          Rec(s + 1, remaining - 1);
+          current->pop_back();
+        }
+      }
+    }
+  } ctx{universe, target, &best, &current, n};
+
+  ctx.Rec(0, max_cost);
+  return best;
+}
+
+}  // namespace slugger::core

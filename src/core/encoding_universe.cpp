@@ -1,0 +1,261 @@
+#include "core/encoding_universe.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cassert>
+
+namespace slugger::core {
+
+SideShape InternalShape(bool first_singleton, bool second_singleton) {
+  int code = 1 + (first_singleton ? 2 : 0) + (second_singleton ? 1 : 0);
+  return static_cast<SideShape>(code);
+}
+
+int Case1ClassIndex(int i, int j) {
+  if (i > j) std::swap(i, j);
+  // Triangular index over unit pairs (i <= j), units 0..3: 10 classes.
+  static constexpr int kBase[4] = {0, 4, 7, 9};
+  return kBase[i] + (j - i);
+}
+
+int Case2ClassIndex(int mi, int cj) { return mi * 2 + cj; }
+
+namespace {
+
+struct UnitInfo {
+  bool present = false;
+  bool singleton = false;
+};
+
+/// Per-side decomposition: which of the side's two unit positions exist and
+/// the local node that equals each unit.
+struct SideLayout {
+  // Unit positions are (side_base) and (side_base + 1).
+  UnitInfo units[2];
+  // Local node ids: side node and its two child nodes (kInvalid if absent).
+  uint8_t side_node;
+  uint8_t child_nodes[2];
+};
+
+constexpr uint8_t kAbsent = 0xFF;
+
+SideLayout MakeSide(SideShape shape, uint8_t side_node, uint8_t child0,
+                    uint8_t child1) {
+  SideLayout out;
+  out.side_node = side_node;
+  if (!IsInternal(shape)) {
+    out.units[0] = {true, true};  // a childless root is a singleton leaf
+    out.units[1] = {false, false};
+    out.child_nodes[0] = kAbsent;
+    out.child_nodes[1] = kAbsent;
+  } else {
+    bool s1 = shape == SideShape::kInt10 || shape == SideShape::kInt11;
+    bool s2 = shape == SideShape::kInt01 || shape == SideShape::kInt11;
+    out.units[0] = {true, s1};
+    out.units[1] = {true, s2};
+    out.child_nodes[0] = child0;
+    out.child_nodes[1] = child1;
+  }
+  return out;
+}
+
+/// Builds node -> unit bitmask for the m-side (units 0..3) given layouts.
+void FillMSideMasks(const SideLayout& a, const SideLayout& b,
+                    std::array<uint8_t, kNumLocalNodes>& mask,
+                    std::array<bool, kNumLocalNodes>& present) {
+  auto unit_bit = [](int u) { return static_cast<uint8_t>(1u << u); };
+  // A side occupies units 0,1; B side units 2,3.
+  uint8_t a_mask = unit_bit(0) | (a.units[1].present ? unit_bit(1) : 0);
+  uint8_t b_mask = unit_bit(2) | (b.units[1].present ? unit_bit(3) : 0);
+  present[kM] = true;
+  mask[kM] = a_mask | b_mask;
+  present[kA] = true;
+  mask[kA] = a_mask;
+  present[kB] = true;
+  mask[kB] = b_mask;
+  if (a.child_nodes[0] != kAbsent) {
+    present[kA1] = true;
+    mask[kA1] = unit_bit(0);
+    present[kA2] = true;
+    mask[kA2] = unit_bit(1);
+  }
+  if (b.child_nodes[0] != kAbsent) {
+    present[kB1] = true;
+    mask[kB1] = unit_bit(2);
+    present[kB2] = true;
+    mask[kB2] = unit_bit(3);
+  }
+}
+
+Universe BuildCase1(SideShape sa, SideShape sb, uint8_t code) {
+  Universe u;
+  u.kind = Universe::Kind::kCase1;
+  u.num_classes = 10;
+  u.code = code;
+  for (auto& row : u.slot_index) {
+    for (auto& cell : row) cell = -1;
+  }
+
+  SideLayout a = MakeSide(sa, kA, kA1, kA2);
+  SideLayout b = MakeSide(sb, kB, kB1, kB2);
+  std::array<uint8_t, kNumLocalNodes> mask{};
+  std::array<bool, kNumLocalNodes> present{};
+  FillMSideMasks(a, b, mask, present);
+
+  UnitInfo units[4] = {a.units[0], a.units[1], b.units[0], b.units[1]};
+
+  // Active classes: both units present; self-classes need >= 2 subnodes.
+  u.active_mask = 0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i; j < 4; ++j) {
+      if (!units[i].present || !units[j].present) continue;
+      if (i == j && units[i].singleton) continue;
+      u.active_mask |= static_cast<uint16_t>(1u << Case1ClassIndex(i, j));
+    }
+  }
+
+  // Slots: unordered present node pairs, excluding nested distinct pairs
+  // (mask containment), with nonzero active coverage.
+  for (uint8_t p = 0; p < kC; ++p) {
+    if (!present[p]) continue;
+    for (uint8_t q = p; q < kC; ++q) {
+      if (!present[q]) continue;
+      if (p != q) {
+        bool nested = (mask[p] | mask[q]) == mask[p] ||
+                      (mask[p] | mask[q]) == mask[q];
+        if (nested) continue;
+      }
+      uint16_t cover = 0;
+      for (int i = 0; i < 4; ++i) {
+        for (int j = i; j < 4; ++j) {
+          if (!units[i].present || !units[j].present) continue;
+          bool in_p_q = (mask[p] >> i & 1) && (mask[q] >> j & 1);
+          bool in_q_p = (mask[q] >> i & 1) && (mask[p] >> j & 1);
+          if (in_p_q || in_q_p) {
+            cover |= static_cast<uint16_t>(1u << Case1ClassIndex(i, j));
+          }
+        }
+      }
+      cover &= u.active_mask;
+      if (cover == 0) continue;
+      u.slot_index[p][q] = static_cast<int8_t>(u.slots.size());
+      u.slots.push_back({p, q, cover});
+    }
+  }
+
+  u.covering_slots.assign(u.num_classes, {});
+  for (size_t s = 0; s < u.slots.size(); ++s) {
+    for (int c = 0; c < u.num_classes; ++c) {
+      if (u.slots[s].cover >> c & 1) {
+        u.covering_slots[c].push_back(static_cast<uint8_t>(s));
+      }
+    }
+  }
+  return u;
+}
+
+Universe BuildCase2(bool a_int, bool b_int, bool c_int, uint8_t code) {
+  Universe u;
+  u.kind = Universe::Kind::kCase2;
+  u.num_classes = 8;
+  u.code = code;
+  for (auto& row : u.slot_index) {
+    for (auto& cell : row) cell = -1;
+  }
+
+  // Singleton flags are irrelevant for cross classes; use kInt00 / kLeaf.
+  SideLayout a = MakeSide(a_int ? SideShape::kInt00 : SideShape::kLeaf, kA,
+                          kA1, kA2);
+  SideLayout b = MakeSide(b_int ? SideShape::kInt00 : SideShape::kLeaf, kB,
+                          kB1, kB2);
+  std::array<uint8_t, kNumLocalNodes> mmask{};
+  std::array<bool, kNumLocalNodes> mpresent{};
+  FillMSideMasks(a, b, mmask, mpresent);
+
+  bool m_units[4] = {true, a.units[1].present, true, b.units[1].present};
+
+  // C side: units 0 (C or C1) and 1 (C2, absent when C is childless).
+  bool c_units[2] = {true, c_int};
+  std::array<uint8_t, 3> cmask{};  // indexed by node - kC
+  std::array<bool, 3> cpresent{};
+  cpresent[0] = true;
+  cmask[0] = c_int ? 0b11 : 0b01;
+  if (c_int) {
+    cpresent[1] = true;
+    cmask[1] = 0b01;
+    cpresent[2] = true;
+    cmask[2] = 0b10;
+  }
+
+  u.active_mask = 0;
+  for (int mi = 0; mi < 4; ++mi) {
+    for (int cj = 0; cj < 2; ++cj) {
+      if (m_units[mi] && c_units[cj]) {
+        u.active_mask |= static_cast<uint16_t>(1u << Case2ClassIndex(mi, cj));
+      }
+    }
+  }
+
+  for (uint8_t p = 0; p < kC; ++p) {
+    if (!mpresent[p]) continue;
+    for (uint8_t q = kC; q < kNumLocalNodes; ++q) {
+      if (!cpresent[q - kC]) continue;
+      uint16_t cover = 0;
+      for (int mi = 0; mi < 4; ++mi) {
+        for (int cj = 0; cj < 2; ++cj) {
+          if (!m_units[mi] || !c_units[cj]) continue;
+          if ((mmask[p] >> mi & 1) && (cmask[q - kC] >> cj & 1)) {
+            cover |= static_cast<uint16_t>(1u << Case2ClassIndex(mi, cj));
+          }
+        }
+      }
+      cover &= u.active_mask;
+      if (cover == 0) continue;
+      u.slot_index[p][q] = static_cast<int8_t>(u.slots.size());
+      u.slots.push_back({p, q, cover});
+    }
+  }
+
+  u.covering_slots.assign(u.num_classes, {});
+  for (size_t s = 0; s < u.slots.size(); ++s) {
+    for (int c = 0; c < u.num_classes; ++c) {
+      if (u.slots[s].cover >> c & 1) {
+        u.covering_slots[c].push_back(static_cast<uint8_t>(s));
+      }
+    }
+  }
+  return u;
+}
+
+}  // namespace
+
+const Universe& GetCase1Universe(SideShape a, SideShape b) {
+  static const std::array<Universe, 25>* kTable = [] {
+    auto* table = new std::array<Universe, 25>();
+    for (int i = 0; i < 5; ++i) {
+      for (int j = 0; j < 5; ++j) {
+        (*table)[i * 5 + j] = BuildCase1(static_cast<SideShape>(i),
+                                         static_cast<SideShape>(j),
+                                         static_cast<uint8_t>(i * 5 + j));
+      }
+    }
+    return table;
+  }();
+  return (*kTable)[static_cast<int>(a) * 5 + static_cast<int>(b)];
+}
+
+const Universe& GetCase2Universe(bool a_internal, bool b_internal,
+                                 bool c_internal) {
+  static const std::array<Universe, 8>* kTable = [] {
+    auto* table = new std::array<Universe, 8>();
+    for (int i = 0; i < 8; ++i) {
+      (*table)[i] = BuildCase2(i & 4, i & 2, i & 1,
+                               static_cast<uint8_t>(25 + i));
+    }
+    return table;
+  }();
+  int idx = (a_internal ? 4 : 0) | (b_internal ? 2 : 0) | (c_internal ? 1 : 0);
+  return (*kTable)[idx];
+}
+
+}  // namespace slugger::core

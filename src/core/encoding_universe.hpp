@@ -1,0 +1,109 @@
+// Local re-encoding universes for the merging step (paper §III-B3, Fig. 4).
+//
+// When SLUGGER (temporarily) merges two root nodes A and B into M = A ∪ B,
+// it re-encodes p/n-edges among a bounded *family* of supernodes:
+//
+//   Case 1 (within): {M} ∪ S_A ∪ S_B, where S_X = {X} ∪ children(X);
+//                    at most 7 supernodes (merges are binary).
+//   Case 2 (cross):  the family above versus S_C = {C} ∪ children(C) for an
+//                    adjacent root C; at most 7 x 3 supernodes.
+//
+// The subnode pairs covered by family edges factor into *unit classes*:
+// unordered pairs of atomic units, where a side's units are its direct
+// children (or the node itself when childless). A family edge covers a
+// class iff each unit is contained in one endpoint. Re-encoding must
+// preserve the signed coverage count of every nonempty class — that is
+// exactly what makes the replacement lossless (DESIGN.md §1).
+//
+// A Universe materializes this combinatorial structure for one *shape*
+// (which sides are internal, which units are singletons): the legal edge
+// slots, their class-coverage masks, and the active-class mask. Universes
+// are shape-canonical and graph-independent, enabling global memoization.
+#ifndef SLUGGER_CORE_ENCODING_UNIVERSE_HPP_
+#define SLUGGER_CORE_ENCODING_UNIVERSE_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace slugger::core {
+
+/// Shape of one merge side: childless, or internal with two children whose
+/// singleton-ness (size == 1) decides whether their self-class is empty.
+enum class SideShape : uint8_t {
+  kLeaf = 0,      ///< childless root (a singleton supernode)
+  kInt00 = 1,     ///< internal; neither child singleton
+  kInt01 = 2,     ///< internal; only second child singleton
+  kInt10 = 3,     ///< internal; only first child singleton
+  kInt11 = 4,     ///< internal; both children singleton
+};
+
+/// Builds the shape code of an internal side.
+SideShape InternalShape(bool first_singleton, bool second_singleton);
+
+inline bool IsInternal(SideShape s) { return s != SideShape::kLeaf; }
+
+/// Fixed local node indices inside a universe.
+/// Case 1 uses kM..kB2; Case 2 additionally uses kC..kC2.
+enum LocalNode : uint8_t {
+  kM = 0,   ///< the merged supernode A ∪ B (does not exist yet during eval)
+  kA = 1,
+  kA1 = 2,
+  kA2 = 3,
+  kB = 4,
+  kB1 = 5,
+  kB2 = 6,
+  kC = 7,
+  kC1 = 8,
+  kC2 = 9,
+  kNumLocalNodes = 10,
+};
+
+/// A legal superedge slot between two local nodes, with its coverage mask
+/// over active classes.
+struct Slot {
+  uint8_t p;       ///< local node index, p <= q
+  uint8_t q;
+  uint16_t cover;  ///< bitmask over class indices (restricted to active)
+};
+
+/// One canonical re-encoding instance shape. Case 1 has up to 10 classes
+/// (unordered pairs of the 4 m-side units); Case 2 has up to 8 (m-side
+/// unit x c-side unit).
+struct Universe {
+  enum class Kind : uint8_t { kCase1 = 0, kCase2 = 1 };
+
+  Kind kind;
+  uint8_t num_classes;     ///< 10 (case 1) or 8 (case 2), fixed per kind
+  uint16_t active_mask;    ///< classes that exist and contain >= 1 pair
+  std::vector<Slot> slots;
+  /// slot id for a local node pair, or -1 if the pair is not a legal slot.
+  int8_t slot_index[kNumLocalNodes][kNumLocalNodes];
+  /// For each class, the slots covering it (indices into `slots`).
+  std::vector<std::vector<uint8_t>> covering_slots;
+  /// Compact universe id (< 64), used in memo keys.
+  uint8_t code;
+
+  int SlotIdFor(uint8_t p, uint8_t q) const {
+    return p <= q ? slot_index[p][q] : slot_index[q][p];
+  }
+};
+
+/// Case-1 class index of the unordered m-side unit pair (i, j), i,j in 0..3.
+int Case1ClassIndex(int i, int j);
+
+/// Case-2 class index of (m-side unit mi in 0..3, c-side unit cj in 0..1).
+int Case2ClassIndex(int mi, int cj);
+
+/// Returns the canonical Case-1 universe for side shapes (a, b).
+/// Units: 0 = A (leaf) or first child of A; 1 = second child of A (absent
+/// for leaf shape); 2, 3 likewise for B.
+const Universe& GetCase1Universe(SideShape a, SideShape b);
+
+/// Returns the canonical Case-2 universe. Only internality matters (all
+/// cross classes are nonempty regardless of singleton-ness).
+const Universe& GetCase2Universe(bool a_internal, bool b_internal,
+                                 bool c_internal);
+
+}  // namespace slugger::core
+
+#endif  // SLUGGER_CORE_ENCODING_UNIVERSE_HPP_

@@ -1,0 +1,182 @@
+#include "core/pruning.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/hashing.hpp"
+
+namespace slugger::core {
+
+namespace {
+
+using summary::HierarchyForest;
+using summary::SummaryGraph;
+
+/// Substep 1: splice out edge-free non-leaf supernodes. Returns #removed.
+uint64_t PruneStep1(SummaryGraph* summary) {
+  const HierarchyForest& forest = summary->forest();
+  uint64_t removed = 0;
+  for (SupernodeId s = forest.capacity(); s-- > 0;) {
+    if (!forest.IsAlive(s) || forest.IsLeaf(s)) continue;
+    if (summary->EdgeCountOf(s) != 0) continue;
+    summary->SpliceOut(s);
+    ++removed;
+  }
+  return removed;
+}
+
+/// Substep 2: dissolve non-leaf roots with exactly one incident non-loop
+/// edge, pushing the edge down to every child with sign cancellation.
+uint64_t PruneStep2(SummaryGraph* summary) {
+  const HierarchyForest& forest = summary->forest();
+  uint64_t removed = 0;
+  std::vector<SupernodeId> queue = forest.CollectRoots();
+  while (!queue.empty()) {
+    SupernodeId a = queue.back();
+    queue.pop_back();
+    if (!forest.IsAlive(a) || !forest.IsRoot(a) || forest.IsLeaf(a)) continue;
+    if (summary->EdgeCountOf(a) != 1) continue;
+
+    SupernodeId b = kInvalidId;
+    EdgeSign sign = 0;
+    summary->ForEachEdgeOf(a, [&](SupernodeId other, EdgeSign s) {
+      b = other;
+      sign = s;
+    });
+    if (b == a) continue;  // a lone self-loop cannot be pushed down
+
+    // A same-sign (child, b) edge would leave a coverage deficit after the
+    // rewrite; it cannot arise from SLUGGER's own encodings, but skip the
+    // root defensively rather than corrupt the summary.
+    bool rewritable = true;
+    for (SupernodeId c : forest.Children(a)) {
+      if (summary->GetSign(c, b) == sign) {
+        rewritable = false;
+        break;
+      }
+    }
+    if (!rewritable) continue;
+
+    summary->RemoveEdge(a, b);
+    // Children of a partition a exactly, so replacing (a, b) by one edge
+    // per child preserves coverage; an existing opposite-sign (child, b)
+    // cancels instead (paper Algorithm 3, lines 17-23).
+    for (SupernodeId c : forest.Children(a)) {
+      EdgeSign existing = summary->GetSign(c, b);
+      if (existing == -sign) {
+        summary->RemoveEdge(c, b);
+      } else {
+        summary->AddEdge(c, b, sign);
+      }
+      queue.push_back(c);  // children become roots; may now qualify
+    }
+    summary->SpliceOut(a);
+    ++removed;
+  }
+  return removed;
+}
+
+/// Substep 3: per adjacent root pair (including self pairs), switch to the
+/// optimal flat encoding when strictly cheaper. Returns #pairs rewritten.
+uint64_t PruneStep3(SummaryGraph* summary, const graph::Graph& g) {
+  const HierarchyForest& forest = summary->forest();
+  std::vector<SupernodeId> root_map = forest.ComputeRootMap();
+
+  // Current superedge count per root pair.
+  std::unordered_map<uint64_t, uint32_t> current;
+  summary->ForEachEdge([&](SupernodeId x, SupernodeId y, EdgeSign) {
+    ++current[PairKey(root_map[x], root_map[y])];
+  });
+
+  // Subedge count per root pair (from the input graph).
+  std::unordered_map<uint64_t, uint64_t> subedges;
+  for (const Edge& e : g.Edges()) {
+    ++subedges[PairKey(root_map[e.first], root_map[e.second])];
+  }
+
+  // Decide which pairs the flat model encodes strictly cheaper.
+  // marked[key] = true: use corrections-only; false: superedge + n-edges.
+  std::unordered_map<uint64_t, bool> marked;
+  for (const auto& [key, count] : current) {
+    SupernodeId ra = PairFirst(key);
+    SupernodeId rb = PairSecond(key);
+    auto it = subedges.find(key);
+    uint64_t e_ab = it == subedges.end() ? 0 : it->second;
+    uint64_t sa = forest.Size(ra);
+    uint64_t t_ab = ra == rb ? sa * (sa - 1) / 2 : sa * forest.Size(rb);
+    uint64_t with_super = 1 + (t_ab - e_ab);
+    uint64_t flat = std::min(e_ab, with_super);
+    if (flat < count) marked[key] = e_ab <= with_super;
+  }
+  if (marked.empty()) return 0;
+
+  // Remove every superedge of a marked pair.
+  std::vector<std::pair<SupernodeId, SupernodeId>> removals;
+  summary->ForEachEdge([&](SupernodeId x, SupernodeId y, EdgeSign) {
+    if (marked.count(PairKey(root_map[x], root_map[y]))) {
+      removals.emplace_back(x, y);
+    }
+  });
+  for (const auto& [x, y] : removals) summary->RemoveEdge(x, y);
+
+  // Re-encode marked pairs flat.
+  std::vector<NodeId> leaves_a;
+  std::vector<NodeId> leaves_b;
+  for (const auto& [key, corrections_only] : marked) {
+    SupernodeId ra = PairFirst(key);
+    SupernodeId rb = PairSecond(key);
+    if (corrections_only) continue;  // p-edges added in the edge sweep below
+    // Superedge + n-edge corrections for the missing subnode pairs.
+    summary->AddEdge(ra, rb, +1);
+    summary->CollectLeaves(ra, &leaves_a);
+    if (ra == rb) {
+      for (size_t i = 0; i < leaves_a.size(); ++i) {
+        for (size_t j = i + 1; j < leaves_a.size(); ++j) {
+          if (!g.HasEdge(leaves_a[i], leaves_a[j])) {
+            summary->AddEdge(leaves_a[i], leaves_a[j], -1);
+          }
+        }
+      }
+    } else {
+      summary->CollectLeaves(rb, &leaves_b);
+      for (NodeId u : leaves_a) {
+        for (NodeId v : leaves_b) {
+          if (!g.HasEdge(u, v)) summary->AddEdge(u, v, -1);
+        }
+      }
+    }
+  }
+  // Correction p-edges for pairs encoded without a superedge.
+  for (const Edge& e : g.Edges()) {
+    uint64_t key = PairKey(root_map[e.first], root_map[e.second]);
+    auto it = marked.find(key);
+    if (it != marked.end() && it->second) {
+      summary->AddEdge(e.first, e.second, +1);
+    }
+  }
+  return marked.size();
+}
+
+}  // namespace
+
+PruneAblation PruneSummary(summary::SummaryGraph* summary,
+                           const graph::Graph& g,
+                           const PruneOptions& options) {
+  PruneAblation ablation;
+  ablation.stage[0] = summary::ComputeStats(*summary);
+  for (uint32_t round = 0; round < options.rounds; ++round) {
+    uint64_t changes = 0;
+    if (options.enable_step1) changes += PruneStep1(summary);
+    if (round == 0) ablation.stage[1] = summary::ComputeStats(*summary);
+    if (options.enable_step2) changes += PruneStep2(summary);
+    if (round == 0) ablation.stage[2] = summary::ComputeStats(*summary);
+    if (options.enable_step3) changes += PruneStep3(summary, g);
+    if (round == 0) ablation.stage[3] = summary::ComputeStats(*summary);
+    if (changes == 0) break;
+  }
+  return ablation;
+}
+
+}  // namespace slugger::core

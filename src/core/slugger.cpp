@@ -1,0 +1,95 @@
+#include "core/slugger.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "core/candidate_generation.hpp"
+#include "core/merge_planner.hpp"
+#include "core/slugger_state.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace slugger::core {
+
+double MergingThreshold(uint32_t t, uint32_t total_iterations) {
+  if (t >= total_iterations) return 0.0;
+  return 1.0 / (1.0 + static_cast<double>(t));
+}
+
+SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
+  SluggerResult result;
+  WallTimer total_timer;
+
+  SluggerState state(g);
+  MergePlanner planner(&state);
+  CandidateGenerator generator(g, config.seed, config.max_group_size,
+                               config.shingle_levels);
+  Rng rng(Mix64(config.seed ^ 0xC0FFEEull));
+
+  const uint32_t hb = config.max_height;  // 0 = unbounded
+
+  for (uint32_t t = 1; t <= config.iterations; ++t) {
+    const double theta = MergingThreshold(t, config.iterations);
+    std::vector<std::vector<SupernodeId>> groups = generator.Generate(state, t);
+
+    MergePlan plan;
+    MergePlan best;
+    for (std::vector<SupernodeId>& q : groups) {
+      // Algorithm 2: repeatedly pick a random A, merge with the best B.
+      while (q.size() > 1) {
+        size_t a_idx = rng.Below(q.size());
+        SupernodeId a = q[a_idx];
+        q[a_idx] = q.back();
+        q.pop_back();
+
+        planner.BeginScan(a);
+        best.Reset(a, a);
+        best.saving = -std::numeric_limits<double>::infinity();
+        size_t best_idx = 0;
+        for (size_t i = 0; i < q.size(); ++i) {
+          SupernodeId z = q[i];
+          if (hb != 0 &&
+              std::max(state.Height(a), state.Height(z)) + 1 > hb) {
+            continue;  // Table V height-bounded variant
+          }
+          if (!planner.MayOverlap(z)) continue;  // Lemma 1: cannot pay off
+          planner.EvaluateInto(a, z, &plan);
+          ++result.evaluations;
+          if (plan.valid && plan.saving > best.saving) {
+            std::swap(best, plan);
+            best_idx = i;
+          }
+        }
+        if (best.valid && best.saving >= theta) {
+          SupernodeId m = planner.Commit(best);
+          ++result.merges;
+          q[best_idx] = m;  // the merged node stays in the pool
+        }
+      }
+    }
+  }
+  result.merge_seconds = total_timer.Seconds();
+
+  // Pruning (paper §III-B4).
+  WallTimer prune_timer;
+  PruneOptions popt;
+  popt.rounds = config.pruning_rounds;
+  popt.enable_step1 = config.prune_step1;
+  popt.enable_step2 = config.prune_step2;
+  popt.enable_step3 = config.prune_step3;
+  if (config.pruning_rounds > 0) {
+    result.prune_ablation = PruneSummary(&state.summary(), g, popt);
+  } else {
+    result.prune_ablation.stage[0] = summary::ComputeStats(state.summary());
+    for (int i = 1; i < 4; ++i) {
+      result.prune_ablation.stage[i] = result.prune_ablation.stage[0];
+    }
+  }
+  result.prune_seconds = prune_timer.Seconds();
+
+  result.summary = std::move(state.summary());
+  result.stats = summary::ComputeStats(result.summary);
+  return result;
+}
+
+}  // namespace slugger::core

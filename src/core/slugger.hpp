@@ -1,0 +1,43 @@
+// SLUGGER: Scalable Lossless Summarization of Graphs with Hierarchy.
+//
+// The library's primary entry point (paper Algorithm 1): greedily merges
+// supernodes under the hierarchical graph summarization model, updating
+// p/n-edges through memoized optimal local re-encodings, then prunes
+// supernodes that do not pay for themselves.
+//
+// Quickstart:
+//   graph::Graph g = gen::ErdosRenyi(1000, 5000, /*seed=*/1);
+//   core::SluggerResult r = core::Summarize(g, {});
+//   summary::VerifyLossless(g, r.summary);          // always OK
+//   double ratio = r.stats.RelativeSize(g.num_edges());
+#ifndef SLUGGER_CORE_SLUGGER_HPP_
+#define SLUGGER_CORE_SLUGGER_HPP_
+
+#include "core/config.hpp"
+#include "core/pruning.hpp"
+#include "graph/graph.hpp"
+#include "summary/stats.hpp"
+#include "summary/summary_graph.hpp"
+
+namespace slugger::core {
+
+/// Output of one summarization run.
+struct SluggerResult {
+  summary::SummaryGraph summary;
+  summary::SummaryStats stats;      ///< stats of the final summary
+  PruneAblation prune_ablation;     ///< Table IV instrumentation
+  uint64_t merges = 0;              ///< accepted merges
+  uint64_t evaluations = 0;         ///< Saving() evaluations performed
+  double merge_seconds = 0.0;
+  double prune_seconds = 0.0;
+};
+
+/// Runs SLUGGER on g. Deterministic for a fixed config.
+SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config);
+
+/// Merging threshold θ(t) (paper Eq. 9).
+double MergingThreshold(uint32_t t, uint32_t total_iterations);
+
+}  // namespace slugger::core
+
+#endif  // SLUGGER_CORE_SLUGGER_HPP_

@@ -1,0 +1,163 @@
+#include "core/slugger_state.hpp"
+
+#include <cassert>
+
+namespace slugger::core {
+
+SluggerState::SluggerState(const graph::Graph& g)
+    : input_(&g), summary_(g.num_nodes()), dsu_(g.num_nodes()) {
+  const NodeId n = g.num_nodes();
+  root_of_.resize(n);
+  roots_.resize(n);
+  root_pos_.resize(n);
+  h_.assign(n, 0);
+  inc_.assign(n, 0);
+  within_.assign(n, 0);
+  height_.assign(n, 0);
+  root_adj_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    root_of_[u] = u;
+    roots_[u] = u;
+    root_pos_[u] = u;
+  }
+  for (const Edge& e : g.Edges()) {
+    AddEdge(e.first, e.second, +1);
+  }
+}
+
+void SluggerState::RootAdjAdd(SupernodeId ra, SupernodeId rb, int delta) {
+  uint32_t& ab = root_adj_[ra].GetOrInsert(rb, 0);
+  ab = static_cast<uint32_t>(static_cast<int64_t>(ab) + delta);
+  if (ab == 0) root_adj_[ra].Erase(rb);
+  uint32_t& ba = root_adj_[rb].GetOrInsert(ra, 0);
+  ba = static_cast<uint32_t>(static_cast<int64_t>(ba) + delta);
+  if (ba == 0) root_adj_[rb].Erase(ra);
+}
+
+void SluggerState::AddEdge(SupernodeId x, SupernodeId y, EdgeSign sign) {
+  bool inserted = summary_.AddEdge(x, y, sign);
+  assert(inserted);
+  (void)inserted;
+  SupernodeId rx = FindRoot(x);
+  SupernodeId ry = FindRoot(y);
+  if (rx == ry) {
+    ++within_[rx];
+    ++inc_[rx];
+  } else {
+    RootAdjAdd(rx, ry, +1);
+    ++inc_[rx];
+    ++inc_[ry];
+  }
+}
+
+EdgeSign SluggerState::RemoveEdge(SupernodeId x, SupernodeId y) {
+  EdgeSign sign = summary_.RemoveEdge(x, y);
+  if (sign == 0) return 0;
+  SupernodeId rx = FindRoot(x);
+  SupernodeId ry = FindRoot(y);
+  if (rx == ry) {
+    --within_[rx];
+    --inc_[rx];
+  } else {
+    RootAdjAdd(rx, ry, -1);
+    --inc_[rx];
+    --inc_[ry];
+  }
+  return sign;
+}
+
+SupernodeId SluggerState::MergeRoots(SupernodeId a, SupernodeId b) {
+  assert(a != b);
+  uint32_t between_ab = Between(a, b);
+  SupernodeId m = summary_.Merge(a, b);
+
+  // Extend per-supernode arrays to cover m.
+  root_of_.push_back(m);
+  h_.push_back(h_[a] + h_[b] + 2);
+  inc_.push_back(inc_[a] + inc_[b] - between_ab);
+  within_.push_back(within_[a] + within_[b] + between_ab);
+  height_.push_back(std::max(height_[a], height_[b]) + 1);
+  root_adj_.emplace_back();
+  root_pos_.push_back(0);
+
+  // Union-find: m joins the merged tree and becomes its root label.
+  uint32_t dsu_id = dsu_.Add();
+  assert(dsu_id == m);
+  (void)dsu_id;
+  uint32_t rep = dsu_.Unite(dsu_.Unite(a, b), m);
+  root_of_[rep] = m;
+
+  // Fold root adjacencies of a and b into m (move the smaller map).
+  for (SupernodeId src : {a, b}) {
+    FlatCountMap& adj = root_adj_[src];
+    adj.ForEach([&](SupernodeId other, uint32_t count) {
+      if (other == a || other == b) return;  // became within(m)
+      root_adj_[other].Erase(src);
+      uint32_t& to_m = root_adj_[other].GetOrInsert(m, 0);
+      to_m += count;
+      uint32_t& from_m = root_adj_[m].GetOrInsert(other, 0);
+      from_m += count;
+    });
+    adj.clear();
+  }
+
+  // Update the root list: remove a and b, add m.
+  auto remove_root = [&](SupernodeId r) {
+    uint32_t pos = root_pos_[r];
+    SupernodeId last = roots_.back();
+    roots_[pos] = last;
+    root_pos_[last] = pos;
+    roots_.pop_back();
+  };
+  remove_root(a);
+  remove_root(b);
+  root_pos_[m] = static_cast<uint32_t>(roots_.size());
+  roots_.push_back(m);
+  return m;
+}
+
+uint64_t SluggerState::TotalCostFromAggregates() const {
+  // sum inc double-counts inter-tree edges; each root_adj entry appears
+  // twice (once per side).
+  uint64_t inc_sum = 0;
+  uint64_t adj_sum = 0;
+  for (SupernodeId r : roots_) {
+    inc_sum += inc_[r];
+    root_adj_[r].ForEach([&](SupernodeId, uint32_t c) { adj_sum += c; });
+  }
+  return summary_.h_count() + inc_sum - adj_sum / 2;
+}
+
+bool SluggerState::ValidateAggregates() const {
+  // Recompute everything from scratch and compare.
+  const auto& forest = summary_.forest();
+  std::vector<SupernodeId> root_map = forest.ComputeRootMap();
+  std::vector<uint64_t> h(forest.capacity(), 0);
+  std::vector<uint64_t> inc(forest.capacity(), 0);
+  std::vector<uint64_t> within(forest.capacity(), 0);
+  for (SupernodeId s = 0; s < forest.capacity(); ++s) {
+    if (forest.IsAlive(s) && forest.Parent(s) != kInvalidId) {
+      ++h[root_map[s]];
+    }
+  }
+  bool ok = true;
+  summary_.ForEachEdge([&](SupernodeId x, SupernodeId y, EdgeSign) {
+    SupernodeId rx = root_map[x];
+    SupernodeId ry = root_map[y];
+    if (rx == ry) {
+      ++within[rx];
+      ++inc[rx];
+    } else {
+      ++inc[rx];
+      ++inc[ry];
+    }
+  });
+  for (SupernodeId r : roots_) {
+    if (h[r] != h_[r] || inc[r] != inc_[r] || within[r] != within_[r]) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace slugger::core

@@ -1,0 +1,102 @@
+// Mutable algorithm state for SLUGGER's merge phase.
+//
+// Wraps the summary under construction with the incremental aggregates the
+// greedy search needs (paper §III-A cost functions):
+//   h(R)        — Cost_H: h-edges in the tree rooted at R
+//   inc(R)      — Cost_P: p/n-edges incident to any supernode of R's tree
+//   within(R)   — edges with both endpoints inside R's tree
+//   between(R1,R2) — edges between the two trees (root adjacency)
+// plus root lookup (union-find) and per-root height for the Table-V bound.
+#ifndef SLUGGER_CORE_SLUGGER_STATE_HPP_
+#define SLUGGER_CORE_SLUGGER_STATE_HPP_
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "summary/summary_graph.hpp"
+#include "util/dsu.hpp"
+#include "util/flat_map.hpp"
+
+namespace slugger::core {
+
+using summary::SummaryGraph;
+
+/// Algorithm state: summary + aggregates, kept consistent through
+/// AddEdge / RemoveEdge / MergeRoots.
+class SluggerState {
+ public:
+  /// Initializes the trivial summary: singleton supernodes, P+ = E.
+  explicit SluggerState(const graph::Graph& g);
+
+  const graph::Graph& input() const { return *input_; }
+  SummaryGraph& summary() { return summary_; }
+  const SummaryGraph& summary() const { return summary_; }
+
+  /// Root supernode containing s (near-O(1) amortized).
+  SupernodeId FindRoot(SupernodeId s) {
+    return root_of_[dsu_.Find(s)];
+  }
+
+  /// Current roots, in unspecified order.
+  const std::vector<SupernodeId>& roots() const { return roots_; }
+
+  uint64_t HCost(SupernodeId root) const { return h_[root]; }
+  uint64_t IncCost(SupernodeId root) const { return inc_[root]; }
+  uint32_t Height(SupernodeId root) const { return height_[root]; }
+
+  /// Number of superedges between the trees of two distinct roots.
+  uint32_t Between(SupernodeId root_a, SupernodeId root_b) const {
+    const uint32_t* v = root_adj_[root_a].Find(root_b);
+    return v != nullptr ? *v : 0;
+  }
+
+  /// Adjacent-root map of a root: neighbor root -> inter-tree edge count.
+  const FlatCountMap& RootAdjacency(SupernodeId root) const {
+    return root_adj_[root];
+  }
+
+  /// Cost_A(G) = Cost_H + Cost_P for one root (paper Eq. 6).
+  uint64_t RootCost(SupernodeId root) const { return h_[root] + inc_[root]; }
+
+  /// Adds superedge {x, y} with aggregate maintenance.
+  void AddEdge(SupernodeId x, SupernodeId y, EdgeSign sign);
+
+  /// Removes superedge {x, y}; returns its sign (0 if absent).
+  EdgeSign RemoveEdge(SupernodeId x, SupernodeId y);
+
+  /// Creates M = a ∪ b over roots a and b and folds aggregates; returns M.
+  /// Does not touch p/n-edges (the merge planner applies those deltas).
+  SupernodeId MergeRoots(SupernodeId a, SupernodeId b);
+
+  /// True iff x is the root or a direct child of the root of its tree
+  /// (i.e. within the re-encodable top band S_root).
+  bool InTopBand(SupernodeId x, SupernodeId root) const {
+    return x == root || summary_.forest().Parent(x) == root;
+  }
+
+  /// Sum of RootCost over all roots minus double-counted inter-tree edges:
+  /// equals Cost(G) (used by tests to validate the aggregates).
+  uint64_t TotalCostFromAggregates() const;
+
+  /// Exhaustive consistency check of aggregates (tests only; slow).
+  bool ValidateAggregates() const;
+
+ private:
+  void RootAdjAdd(SupernodeId ra, SupernodeId rb, int delta);
+
+  const graph::Graph* input_;
+  SummaryGraph summary_;
+  Dsu dsu_;                          // over supernode ids, tracks trees
+  std::vector<SupernodeId> root_of_; // dsu representative -> root id
+  std::vector<SupernodeId> roots_;
+  std::vector<uint32_t> root_pos_;   // root id -> index in roots_
+  std::vector<uint64_t> h_;
+  std::vector<uint64_t> inc_;
+  std::vector<uint64_t> within_;
+  std::vector<uint32_t> height_;
+  std::vector<FlatCountMap> root_adj_;
+};
+
+}  // namespace slugger::core
+
+#endif  // SLUGGER_CORE_SLUGGER_STATE_HPP_

@@ -1,0 +1,41 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace slugger::gen {
+
+Graph Affiliation(NodeId n, uint32_t num_groups, uint32_t min_group,
+                  uint32_t max_group, uint64_t seed) {
+  Rng rng(seed);
+  graph::EdgeListBuilder builder(n);
+  builder.EnsureNodes(n);
+  // Preferential membership: nodes that already belong to groups are more
+  // likely to join new ones (prolific authors / busy actors).
+  std::vector<NodeId> member_pool;
+  member_pool.reserve(static_cast<size_t>(num_groups) * max_group);
+
+  std::vector<NodeId> group;
+  for (uint32_t gidx = 0; gidx < num_groups; ++gidx) {
+    uint32_t size = min_group +
+                    static_cast<uint32_t>(rng.Below(max_group - min_group + 1));
+    group.clear();
+    for (uint32_t i = 0; i < size; ++i) {
+      NodeId member;
+      if (!member_pool.empty() && rng.Chance(0.5)) {
+        member = member_pool[rng.Below(member_pool.size())];
+      } else {
+        member = static_cast<NodeId>(rng.Below(n));
+      }
+      group.push_back(member);
+    }
+    // Project the group onto a clique.
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        if (group[i] != group[j]) builder.Add(group[i], group[j]);
+      }
+      member_pool.push_back(group[i]);
+    }
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

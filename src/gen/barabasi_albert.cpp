@@ -1,0 +1,52 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace slugger::gen {
+
+Graph BarabasiAlbert(NodeId n, uint32_t edges_per_node, double closure_prob,
+                     uint64_t seed) {
+  Rng rng(seed);
+  graph::EdgeListBuilder builder(n);
+  // `endpoints` holds one entry per edge endpoint; sampling uniformly from
+  // it realizes degree-proportional (preferential) attachment.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * edges_per_node * 2);
+  // Growing adjacency, used only to close triangles.
+  std::vector<std::vector<NodeId>> adj(n);
+
+  auto add_edge = [&](NodeId u, NodeId v) {
+    builder.Add(u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+
+  uint32_t seed_nodes = edges_per_node + 1;
+  if (seed_nodes > n) seed_nodes = n;
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) add_edge(u, v);
+  }
+
+  std::vector<NodeId> picks;
+  for (NodeId u = seed_nodes; u < n; ++u) {
+    picks.clear();
+    for (uint32_t j = 0; j < edges_per_node; ++j) {
+      NodeId target;
+      if (!picks.empty() && rng.Chance(closure_prob)) {
+        // Triadic closure: jump to a random neighbor of a previously chosen
+        // neighbor, creating a triangle u - via - target.
+        NodeId via = picks[rng.Below(picks.size())];
+        target = adj[via][rng.Below(adj[via].size())];
+      } else {
+        target = endpoints[rng.Below(endpoints.size())];
+      }
+      if (target == u) continue;
+      add_edge(u, target);
+      picks.push_back(target);
+    }
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

@@ -1,0 +1,29 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace slugger::gen {
+
+Graph Caveman(uint32_t num_caves, uint32_t cave_size, double rewire_prob,
+              uint64_t seed) {
+  Rng rng(seed);
+  NodeId n = num_caves * cave_size;
+  graph::EdgeListBuilder builder(n);
+  for (uint32_t cave = 0; cave < num_caves; ++cave) {
+    NodeId base = cave * cave_size;
+    for (uint32_t i = 0; i < cave_size; ++i) {
+      for (uint32_t j = i + 1; j < cave_size; ++j) {
+        NodeId u = base + i;
+        NodeId v = base + j;
+        if (rng.Chance(rewire_prob)) {
+          // Redirect one endpoint to a uniform outside node, linking caves.
+          v = static_cast<NodeId>(rng.Below(n));
+          if (v == u) continue;
+        }
+        builder.Add(u, v);
+      }
+    }
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

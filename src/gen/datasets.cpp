@@ -1,0 +1,201 @@
+#include "gen/datasets.hpp"
+
+#include <cstdlib>
+#include <cstdio>
+
+#include "gen/generators.hpp"
+
+namespace slugger::gen {
+
+Scale ScaleFromEnv() {
+  const char* env = std::getenv("SLUGGER_BENCH_SCALE");
+  if (env == nullptr) return Scale::kSmall;
+  std::string v(env);
+  if (v == "tiny") return Scale::kTiny;
+  if (v == "full") return Scale::kFull;
+  return Scale::kSmall;
+}
+
+std::string ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return "tiny";
+    case Scale::kFull:
+      return "full";
+    case Scale::kSmall:
+      break;
+  }
+  return "small";
+}
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"CA-syn", "Caida (CA)", "Internet", 0.835},
+      {"FA-syn", "Ego-Facebook (FA)", "Social", 0.429},
+      {"PR-syn", "Protein (PR)", "Protein Interaction", 0.094},
+      {"EM-syn", "Email-Enron (EM)", "Email", 0.743},
+      {"DB-syn", "DBLP (DB)", "Collaboration", 0.678},
+      {"AM-syn", "Amazon0601 (AM)", "Co-purchase", 0.700},
+      {"CN-syn", "CNR-2000 (CN)", "Hyperlinks", 0.216},
+      {"YO-syn", "Youtube (YO)", "Social", 0.917},
+      {"SK-syn", "Skitter (SK)", "Internet", 0.542},
+      {"EU-syn", "EU-05 (EU)", "Hyperlinks", 0.187},
+      {"ES-syn", "Eswiki-13 (ES)", "Social", 0.718},
+      {"LJ-syn", "LiveJournal (LJ)", "Social", 0.744},
+      {"HO-syn", "Hollywood (HO)", "Collaboration", 0.422},
+      {"IC-syn", "IC-04 (IC)", "Hyperlinks", 0.101},
+      {"U2-syn", "UK-02 (U2)", "Hyperlinks", 0.142},
+      {"U5-syn", "UK-05 (U5)", "Hyperlinks", 0.108},
+  };
+  return kSpecs;
+}
+
+namespace {
+
+/// Multiplicative size factor per scale; applied to node counts.
+double Factor(Scale scale) {
+  switch (scale) {
+    case Scale::kTiny:
+      return 0.25;
+    case Scale::kFull:
+      return 3.0;
+    case Scale::kSmall:
+      break;
+  }
+  return 1.0;
+}
+
+NodeId Sz(double base, double f) {
+  double v = base * f;
+  return v < 4 ? 4 : static_cast<NodeId>(v);
+}
+
+}  // namespace
+
+graph::Graph GenerateDataset(const std::string& name, Scale scale,
+                             uint64_t seed) {
+  const double f = Factor(scale);
+
+  if (name == "CA-syn") {
+    // Internet AS topology: hubs plus multi-homed stub duplication;
+    // mildly compressible like Caida.
+    return DuplicationDivergence(Sz(14000, f), 2, 0.30, 0.7, seed);
+  }
+  if (name == "FA-syn") {
+    // Ego-network: dense overlapping friend circles.
+    return Caveman(static_cast<uint32_t>(Sz(44, f)), 46, 0.12, seed);
+  }
+  if (name == "PR-syn") {
+    // Protein interaction: small and block-dense with nested modules; the
+    // headline dataset (best compression in the paper).
+    PlantedHierarchyOptions opt;
+    opt.branching = 9;
+    opt.depth = 3;
+    opt.leaf_size = static_cast<uint32_t>(Sz(4, f));
+    opt.leaf_density = 0.9;
+    opt.pair_link_prob = 0.28;
+    opt.pair_link_decay = 0.3;
+    opt.noise_density = 3e-5;
+    return PlantedHierarchy(opt, seed);
+  }
+  if (name == "EM-syn") {
+    // Email: heavy-tailed with mailing-list style duplication.
+    return DuplicationDivergence(Sz(16000, f), 5, 0.40, 0.65, seed);
+  }
+  if (name == "DB-syn") {
+    // DBLP: papers project onto small author cliques.
+    return Affiliation(Sz(40000, f), static_cast<uint32_t>(Sz(15000, f)), 4, 9,
+                       seed);
+  }
+  if (name == "AM-syn") {
+    // Co-purchase: many small overlapping cliques.
+    return Affiliation(Sz(45000, f), static_cast<uint32_t>(Sz(18000, f)), 3, 8,
+                       seed);
+  }
+  if (name == "CN-syn") {
+    // Hyperlink host graph: deep nesting, many near-identical rows.
+    PlantedHierarchyOptions opt;
+    opt.branching = 5;
+    opt.depth = 4;
+    opt.leaf_size = static_cast<uint32_t>(Sz(14, f));
+    opt.leaf_density = 0.85;
+    opt.pair_link_prob = 0.35;
+    opt.pair_link_decay = 0.06;
+    opt.noise_density = 2e-5;
+    return PlantedHierarchy(opt, seed);
+  }
+  if (name == "YO-syn") {
+    // Youtube: sparse social graph, nearly incompressible.
+    return DuplicationDivergence(Sz(70000, f), 2, 0.12, 0.5, seed);
+  }
+  if (name == "SK-syn") {
+    // Skitter traceroutes: heavy path/stub duplication along routes.
+    return DuplicationDivergence(Sz(90000, f), 3, 0.55, 0.75, seed);
+  }
+  if (name == "EU-syn") {
+    // EU-05 hyperlinks: strong hierarchy, dense blocks.
+    PlantedHierarchyOptions opt;
+    opt.branching = 6;
+    opt.depth = 4;
+    opt.leaf_size = static_cast<uint32_t>(Sz(10, f));
+    opt.leaf_density = 0.9;
+    opt.pair_link_prob = 0.4;
+    opt.pair_link_decay = 0.04;
+    opt.noise_density = 1e-5;
+    return PlantedHierarchy(opt, seed);
+  }
+  if (name == "ES-syn") {
+    // Eswiki: wiki link graph, moderate template duplication.
+    return DuplicationDivergence(Sz(110000, f), 4, 0.35, 0.6, seed);
+  }
+  if (name == "LJ-syn") {
+    // LiveJournal: social graph with community duplication.
+    return DuplicationDivergence(Sz(130000, f), 4, 0.30, 0.6, seed);
+  }
+  if (name == "HO-syn") {
+    // Hollywood: large casts project onto large cliques.
+    return Affiliation(Sz(40000, f), static_cast<uint32_t>(Sz(4500, f)), 12, 32,
+                       seed);
+  }
+  if (name == "IC-syn") {
+    // IC-04 crawl: very dense nested blocks.
+    PlantedHierarchyOptions opt;
+    opt.branching = 7;
+    opt.depth = 4;
+    opt.leaf_size = static_cast<uint32_t>(Sz(9, f));
+    opt.leaf_density = 0.93;
+    opt.pair_link_prob = 0.45;
+    opt.pair_link_decay = 0.03;
+    opt.noise_density = 4e-6;
+    return PlantedHierarchy(opt, seed);
+  }
+  if (name == "U2-syn") {
+    // UK-02 crawl.
+    PlantedHierarchyOptions opt;
+    opt.branching = 6;
+    opt.depth = 5;
+    opt.leaf_size = static_cast<uint32_t>(Sz(8, f));
+    opt.leaf_density = 0.9;
+    opt.pair_link_prob = 0.35;
+    opt.pair_link_decay = 0.035;
+    opt.noise_density = 2e-6;
+    return PlantedHierarchy(opt, seed);
+  }
+  if (name == "U5-syn") {
+    // UK-05 crawl: the largest dataset; also the Fig. 1(b) scalability base.
+    PlantedHierarchyOptions opt;
+    opt.branching = 7;
+    opt.depth = 5;
+    opt.leaf_size = static_cast<uint32_t>(Sz(7, f));
+    opt.leaf_density = 0.9;
+    opt.pair_link_prob = 0.3;
+    opt.pair_link_decay = 0.025;
+    opt.noise_density = 1e-6;
+    return PlantedHierarchy(opt, seed);
+  }
+
+  std::fprintf(stderr, "unknown dataset analog: %s\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace slugger::gen

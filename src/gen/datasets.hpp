@@ -1,0 +1,46 @@
+// The 16 named synthetic dataset analogs used by the benchmark harness.
+//
+// Each analog substitutes for one real-world graph of the paper's Table II
+// (see DESIGN.md §3 for the mapping and rationale). Sizes are laptop-scale;
+// the Scale knob shrinks or grows every dataset consistently.
+#ifndef SLUGGER_GEN_DATASETS_HPP_
+#define SLUGGER_GEN_DATASETS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace slugger::gen {
+
+/// Global size knob for the benchmark suite. Also settable through the
+/// SLUGGER_BENCH_SCALE environment variable ("tiny" | "small" | "full").
+enum class Scale { kTiny, kSmall, kFull };
+
+/// Reads SLUGGER_BENCH_SCALE from the environment (default kSmall).
+Scale ScaleFromEnv();
+
+/// Short name ("tiny"/"small"/"full") for report headers.
+std::string ScaleName(Scale scale);
+
+/// Descriptor of one dataset analog.
+struct DatasetSpec {
+  std::string name;        ///< e.g. "PR-syn"
+  std::string paper_name;  ///< e.g. "Protein (PR)"
+  std::string domain;      ///< e.g. "Protein Interaction"
+  /// Relative output size the paper reports for SLUGGER at T = 20 (Table
+  /// III), recorded for paper-vs-measured comparisons in EXPERIMENTS.md.
+  double paper_relative_size;
+};
+
+/// All 16 analogs in the paper's Table II order (Caida ... UK-05).
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Generates the analog by name, deterministically for a given seed.
+/// Aborts on unknown names (programming error).
+graph::Graph GenerateDataset(const std::string& name, Scale scale,
+                             uint64_t seed);
+
+}  // namespace slugger::gen
+
+#endif  // SLUGGER_GEN_DATASETS_HPP_

@@ -1,0 +1,51 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace slugger::gen {
+
+Graph DuplicationDivergence(NodeId n, uint32_t base_edges, double dup_prob,
+                            double keep_prob, uint64_t seed) {
+  Rng rng(seed);
+  graph::EdgeListBuilder builder(n);
+  std::vector<std::vector<NodeId>> adj(n);
+  // Endpoint pool for preferential attachment of non-duplicating nodes.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * base_edges);
+
+  auto add_edge = [&](NodeId u, NodeId v) {
+    builder.Add(u, v);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+
+  uint32_t seed_nodes = base_edges + 1;
+  if (seed_nodes > n) seed_nodes = n;
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) add_edge(u, v);
+  }
+
+  for (NodeId u = seed_nodes; u < n; ++u) {
+    if (rng.Chance(dup_prob)) {
+      // Duplicate: copy a uniform template's neighborhood (with decay) and
+      // link to the template itself.
+      NodeId tmpl = static_cast<NodeId>(rng.Below(u));
+      // Copy from a snapshot: adj[tmpl] may grow while we iterate.
+      size_t count = adj[tmpl].size();
+      for (size_t i = 0; i < count; ++i) {
+        NodeId w = adj[tmpl][i];
+        if (w != u && rng.Chance(keep_prob)) add_edge(u, w);
+      }
+      add_edge(u, tmpl);
+    } else {
+      for (uint32_t j = 0; j < base_edges; ++j) {
+        NodeId target = endpoints[rng.Below(endpoints.size())];
+        if (target != u) add_edge(u, target);
+      }
+    }
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

@@ -1,0 +1,27 @@
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/hashing.hpp"
+
+namespace slugger::gen {
+
+Graph ErdosRenyi(NodeId n, uint64_t m, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) m = max_edges;
+
+  graph::EdgeListBuilder builder(n);
+  builder.Reserve(m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) builder.Add(u, v);
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

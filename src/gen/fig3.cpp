@@ -1,0 +1,26 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace slugger::gen {
+
+Graph Fig3Graph(uint32_t n_groups, uint32_t k_per_group) {
+  // n groups of k subnodes in a cycle. Every pair of subnodes is adjacent
+  // UNLESS their groups are cyclically adjacent. Each subnode therefore
+  // misses exactly 2k neighbors and the complement has exactly n*k^2 pairs,
+  // matching the Theorem-1 construction (paper §VII-A).
+  NodeId n = n_groups * k_per_group;
+  graph::EdgeListBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(n) * n / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t gu = u / k_per_group;
+    for (NodeId v = u + 1; v < n; ++v) {
+      uint32_t gv = v / k_per_group;
+      uint32_t d = gv - gu;  // gu <= gv
+      bool adjacent_groups = (d == 1) || (d == n_groups - 1);
+      if (!adjacent_groups) builder.Add(u, v);
+    }
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

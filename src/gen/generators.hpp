@@ -1,0 +1,102 @@
+// Synthetic graph generators.
+//
+// These stand in for the paper's 16 real-world datasets (see DESIGN.md §3):
+// the offline environment cannot download SNAP / LAW corpora, so each
+// experiment draws from a generator matched to the structural property that
+// drives the corresponding dataset's compressibility.
+#ifndef SLUGGER_GEN_GENERATORS_HPP_
+#define SLUGGER_GEN_GENERATORS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace slugger::gen {
+
+using graph::Graph;
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges chosen uniformly.
+Graph ErdosRenyi(NodeId n, uint64_t m, uint64_t seed);
+
+/// Barabási–Albert preferential attachment with optional triadic closure:
+/// each new node attaches `edges_per_node` times; with probability
+/// `closure_prob` an attachment instead closes a triangle through a
+/// previously chosen neighbor (models social clustering).
+Graph BarabasiAlbert(NodeId n, uint32_t edges_per_node, double closure_prob,
+                     uint64_t seed);
+
+/// R-MAT recursive-matrix generator; n = 2^scale nodes, ~m distinct edges.
+/// (a, b, c) are the upper-left / upper-right / lower-left quadrant masses;
+/// the remainder goes to the lower-right quadrant.
+Graph RMat(uint32_t scale, uint64_t m, double a, double b, double c,
+           uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice of even degree k, each edge
+/// rewired with probability beta.
+Graph WattsStrogatz(NodeId n, uint32_t k, double beta, uint64_t seed);
+
+/// Connected caveman-style graph: `num_caves` cliques of size `cave_size`;
+/// each within-cave edge is rewired to a uniform random endpoint with
+/// probability `rewire_prob` (models overlapping social circles).
+Graph Caveman(uint32_t num_caves, uint32_t cave_size, double rewire_prob,
+              uint64_t seed);
+
+/// Parameters of the planted hierarchical block generator.
+struct PlantedHierarchyOptions {
+  uint32_t branching = 4;     ///< children per internal block
+  uint32_t depth = 3;         ///< levels of nesting above the leaf blocks
+  uint32_t leaf_size = 16;    ///< subnodes per deepest block
+  double leaf_density = 0.9;  ///< edge probability within a leaf block
+
+  /// Probability that a pair of sibling subtrees at the DEEPEST level is
+  /// fully bipartitely connected. Cross links are block-structured (whole
+  /// bipartite cliques, present or absent) — the regime of web/hyperlink
+  /// graphs where groups of pages share identical out-neighborhoods.
+  double pair_link_prob = 0.5;
+
+  /// pair_link_prob is multiplied by this per level walking up, so
+  /// coarse-grained full links are rarer but each covers many subnodes.
+  double pair_link_decay = 0.5;
+
+  /// Density of incompressible uniform noise edges (fraction of all node
+  /// pairs), modeling stray links.
+  double noise_density = 0.0;
+};
+
+/// Planted hierarchical blocks: the "hierarchies are pervasive" workload
+/// (paper §I). Groups with similar connectivity contain subgroups with
+/// higher similarity, recursively — the regime where the hierarchical model
+/// out-compresses flat summarization.
+Graph PlantedHierarchy(const PlantedHierarchyOptions& opt, uint64_t seed);
+
+/// Affiliation (bipartite projection) graph: `num_groups` groups with sizes
+/// in [min_group, max_group], members drawn with preferential repetition;
+/// each group projects to a clique. Models collaboration networks
+/// (DBLP / Hollywood: papers and movies become cliques).
+Graph Affiliation(NodeId n, uint32_t num_groups, uint32_t min_group,
+                  uint32_t max_group, uint64_t seed);
+
+/// Duplication-divergence growth: each new node either copies a random
+/// existing node's neighborhood (probability dup_prob), keeping each
+/// copied edge with probability keep_prob and always linking to the
+/// template, or attaches preferentially `base_edges` times. Duplication
+/// creates the shared-neighborhood redundancy real internet / social /
+/// PPI graphs exhibit — the structure summarization exploits.
+Graph DuplicationDivergence(NodeId n, uint32_t base_edges, double dup_prob,
+                            double keep_prob, uint64_t seed);
+
+/// The Theorem-1 / Fig-3 construction: n groups of k subnodes arranged in a
+/// cycle; all subnode pairs are connected except pairs in cyclically
+/// adjacent groups. Hierarchical encoding costs Θ(nk); any flat encoding
+/// costs Ω(n^1.5) when k = Θ(sqrt(n)) (paper Theorem 1).
+Graph Fig3Graph(uint32_t n_groups, uint32_t k_per_group);
+
+/// Induced subgraph on `num_nodes` uniformly sampled nodes, relabeled
+/// densely. Used for the Fig. 1(b) scalability sweep.
+Graph InducedSubsample(const Graph& g, NodeId num_nodes, uint64_t seed);
+
+}  // namespace slugger::gen
+
+#endif  // SLUGGER_GEN_GENERATORS_HPP_

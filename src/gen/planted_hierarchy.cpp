@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace slugger::gen {
+namespace {
+
+/// Emits each of the `total` linearized pairs independently with probability
+/// p, using geometric skips (O(#emitted) expected time).
+template <typename Emit>
+void SkipSample(uint64_t total, double p, Rng& rng, Emit&& emit) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (uint64_t i = 0; i < total; ++i) emit(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double cursor = -1.0;
+  while (true) {
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 1e-300;
+    cursor += 1.0 + std::floor(std::log(u) / log1mp);
+    if (cursor >= static_cast<double>(total)) break;
+    emit(static_cast<uint64_t>(cursor));
+  }
+}
+
+/// Samples edges inside the half-open id range [lo, hi) with probability p.
+void SampleWithin(NodeId lo, NodeId hi, double p, Rng& rng,
+                  graph::EdgeListBuilder* builder) {
+  uint64_t span = hi - lo;
+  if (span < 2) return;
+  uint64_t total = span * (span - 1) / 2;
+  SkipSample(total, p, rng, [&](uint64_t idx) {
+    // Unrank the idx-th pair (i > j) of the range.
+    uint64_t i = static_cast<uint64_t>(
+        (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(idx))) / 2.0);
+    while (i * (i - 1) / 2 > idx) --i;
+    while ((i + 1) * i / 2 <= idx) ++i;
+    uint64_t j = idx - i * (i - 1) / 2;
+    builder->Add(lo + static_cast<NodeId>(i), lo + static_cast<NodeId>(j));
+  });
+}
+
+/// Adds the complete bipartite link between two id ranges.
+void FullBipartite(NodeId alo, NodeId ahi, NodeId blo, NodeId bhi,
+                   graph::EdgeListBuilder* builder) {
+  for (NodeId u = alo; u < ahi; ++u) {
+    for (NodeId v = blo; v < bhi; ++v) builder->Add(u, v);
+  }
+}
+
+}  // namespace
+
+Graph PlantedHierarchy(const PlantedHierarchyOptions& opt, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t num_leaf_blocks = 1;
+  for (uint32_t d = 0; d < opt.depth; ++d) num_leaf_blocks *= opt.branching;
+  NodeId n = static_cast<NodeId>(num_leaf_blocks * opt.leaf_size);
+  graph::EdgeListBuilder builder(n);
+  builder.EnsureNodes(n);
+
+  // Probability that a sibling-subtree pair at `level` (children of a
+  // level-(level-1) block; deepest = opt.depth) is fully linked.
+  auto link_prob = [&](uint32_t level) {
+    return opt.pair_link_prob *
+           std::pow(opt.pair_link_decay,
+                    static_cast<double>(opt.depth - level));
+  };
+
+  struct Frame {
+    NodeId lo;
+    NodeId hi;
+    uint32_t level;  // 0 = root block (all nodes)
+  };
+  std::vector<Frame> stack{{0, n, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.level == opt.depth) {
+      SampleWithin(f.lo, f.hi, opt.leaf_density, rng, &builder);
+      continue;
+    }
+    NodeId span = f.hi - f.lo;
+    NodeId child_span = span / opt.branching;
+    double p = link_prob(f.level + 1);
+    for (uint32_t i = 0; i < opt.branching; ++i) {
+      NodeId ilo = f.lo + i * child_span;
+      NodeId ihi = (i + 1 == opt.branching) ? f.hi : ilo + child_span;
+      stack.push_back({ilo, ihi, f.level + 1});
+      for (uint32_t j = i + 1; j < opt.branching; ++j) {
+        if (!rng.Chance(p)) continue;
+        NodeId jlo = f.lo + j * child_span;
+        NodeId jhi = (j + 1 == opt.branching) ? f.hi : jlo + child_span;
+        FullBipartite(ilo, ihi, jlo, jhi, &builder);
+      }
+    }
+  }
+
+  if (opt.noise_density > 0.0) {
+    uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+    SkipSample(total, opt.noise_density, rng, [&](uint64_t idx) {
+      uint64_t i = static_cast<uint64_t>(
+          (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(idx))) / 2.0);
+      while (i * (i - 1) / 2 > idx) --i;
+      while ((i + 1) * i / 2 <= idx) ++i;
+      uint64_t j = idx - i * (i - 1) / 2;
+      builder.Add(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    });
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

@@ -1,0 +1,45 @@
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/hashing.hpp"
+
+namespace slugger::gen {
+
+Graph RMat(uint32_t scale, uint64_t m, double a, double b, double c,
+           uint64_t seed) {
+  Rng rng(seed);
+  NodeId n = static_cast<NodeId>(1u) << scale;
+  uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) m = max_edges;
+
+  graph::EdgeListBuilder builder(n);
+  builder.Reserve(m);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = m * 64 + 1024;
+  while (seen.size() < m && attempts++ < max_attempts) {
+    NodeId u = 0, v = 0;
+    for (uint32_t level = 0; level < scale; ++level) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // upper-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) builder.Add(u, v);
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

@@ -1,0 +1,25 @@
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+
+namespace slugger::gen {
+
+Graph InducedSubsample(const Graph& g, NodeId num_nodes, uint64_t seed) {
+  if (num_nodes >= g.num_nodes()) return g;
+  Rng rng(seed);
+  std::vector<uint64_t> chosen =
+      SampleWithoutReplacement(g.num_nodes(), num_nodes, rng);
+  std::vector<NodeId> relabel(g.num_nodes(), kInvalidId);
+  NodeId next = 0;
+  for (uint64_t node : chosen) relabel[node] = next++;
+
+  graph::EdgeListBuilder builder(num_nodes);
+  builder.EnsureNodes(num_nodes);
+  for (const Edge& e : g.Edges()) {
+    NodeId u = relabel[e.first];
+    NodeId v = relabel[e.second];
+    if (u != kInvalidId && v != kInvalidId) builder.Add(u, v);
+  }
+  return Graph::FromCanonicalEdges(num_nodes, builder.Finalize());
+}
+
+}  // namespace slugger::gen

@@ -1,0 +1,38 @@
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+#include "graph/edge_list.hpp"
+#include "util/hashing.hpp"
+
+namespace slugger::gen {
+
+Graph WattsStrogatz(NodeId n, uint32_t k, double beta, uint64_t seed) {
+  Rng rng(seed);
+  if (k % 2 == 1) ++k;  // ring lattice requires even degree
+  if (k >= n) k = n - 1 - ((n - 1) % 2);
+
+  std::unordered_set<uint64_t> present;
+  present.reserve(static_cast<size_t>(n) * k);
+  graph::EdgeListBuilder builder(n);
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      NodeId target = v;
+      if (rng.Chance(beta)) {
+        // Rewire: pick a uniform non-self endpoint, avoiding duplicates.
+        for (int tries = 0; tries < 16; ++tries) {
+          NodeId w = static_cast<NodeId>(rng.Below(n));
+          if (w == u) continue;
+          if (present.count(PairKey(u, w))) continue;
+          target = w;
+          break;
+        }
+      }
+      if (present.insert(PairKey(u, target)).second) builder.Add(u, target);
+    }
+  }
+  return Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::gen

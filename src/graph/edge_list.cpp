@@ -1,0 +1,23 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace slugger::graph {
+
+void EdgeListBuilder::Add(NodeId u, NodeId v) {
+  EnsureNodes(std::max(u, v) + 1);
+  edges_.push_back(MakeEdge(u, v));
+}
+
+std::vector<Edge> EdgeListBuilder::Finalize() {
+  std::vector<Edge> out = std::move(edges_);
+  edges_.clear();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const Edge& e) { return e.first == e.second; }),
+            out.end());
+  return out;
+}
+
+}  // namespace slugger::graph

@@ -1,0 +1,45 @@
+// Mutable undirected edge-list builder used to assemble graphs.
+#ifndef SLUGGER_GRAPH_EDGE_LIST_HPP_
+#define SLUGGER_GRAPH_EDGE_LIST_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace slugger::graph {
+
+/// Accumulates undirected edges; Finalize() canonicalizes (sorts endpoint
+/// pairs), removes self-loops and duplicates, and fixes the node count.
+class EdgeListBuilder {
+ public:
+  /// `num_nodes` may be 0; it grows to fit the largest endpoint + 1.
+  explicit EdgeListBuilder(NodeId num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  /// Adds an undirected edge; order of endpoints is irrelevant.
+  /// Self-loops and duplicates are accepted here and dropped by Finalize().
+  void Add(NodeId u, NodeId v);
+
+  void Reserve(size_t n) { edges_.reserve(n); }
+
+  /// Declares at least `n` nodes even if some are isolated.
+  void EnsureNodes(NodeId n) {
+    if (n > num_nodes_) num_nodes_ = n;
+  }
+
+  size_t raw_edge_count() const { return edges_.size(); }
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Canonicalized, deduplicated, loop-free edge list (sorted). Destructive:
+  /// the builder is left empty.
+  std::vector<Edge> Finalize();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace slugger::graph
+
+#endif  // SLUGGER_GRAPH_EDGE_LIST_HPP_

@@ -1,0 +1,58 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/edge_list.hpp"
+
+namespace slugger::graph {
+
+Graph Graph::FromCanonicalEdges(NodeId num_nodes, std::vector<Edge> edges) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.edges_ = std::move(edges);
+
+  std::vector<uint32_t> degree(num_nodes, 0);
+  for (const Edge& e : g.edges_) {
+    assert(e.first < e.second && e.second < num_nodes);
+    ++degree[e.first];
+    ++degree[e.second];
+  }
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    g.offsets_[u + 1] = g.offsets_[u] + degree[u];
+  }
+  g.adjacency_.resize(g.offsets_[num_nodes]);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.adjacency_[cursor[e.first]++] = e.second;
+    g.adjacency_[cursor[e.second]++] = e.first;
+  }
+  // Canonical edge list is sorted, so each adjacency run is already sorted:
+  // neighbors of u are appended in increasing order of the other endpoint
+  // only for one direction; the mixed directions require a sort.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    std::sort(g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[u]),
+              g.adjacency_.begin() + static_cast<int64_t>(g.offsets_[u + 1]));
+  }
+  return g;
+}
+
+Graph Graph::FromEdges(NodeId num_nodes, const std::vector<Edge>& edges) {
+  EdgeListBuilder b(num_nodes);
+  b.Reserve(edges.size());
+  for (const Edge& e : edges) b.Add(e.first, e.second);
+  b.EnsureNodes(num_nodes);
+  std::vector<Edge> canonical = b.Finalize();
+  return FromCanonicalEdges(std::max(num_nodes, b.num_nodes()),
+                            std::move(canonical));
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace slugger::graph

@@ -1,0 +1,60 @@
+// Immutable simple undirected graph in CSR (compressed sparse row) form.
+#ifndef SLUGGER_GRAPH_GRAPH_HPP_
+#define SLUGGER_GRAPH_GRAPH_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace slugger::graph {
+
+/// The input substrate of the library: a simple undirected graph G = (V, E)
+/// with V = {0, ..., n-1}. Adjacency lists are sorted, enabling O(log d)
+/// membership queries and linear-time set intersections.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from a canonical edge list (sorted unique loop-free pairs with
+  /// first <= second), e.g. the output of EdgeListBuilder::Finalize().
+  /// `num_nodes` must exceed every endpoint.
+  static Graph FromCanonicalEdges(NodeId num_nodes, std::vector<Edge> edges);
+
+  /// Convenience: accepts arbitrary (unsorted, possibly duplicated) edges.
+  static Graph FromEdges(NodeId num_nodes, const std::vector<Edge>& edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return edges_.size(); }
+
+  /// Sorted neighbors of u.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u],
+            adjacency_.data() + offsets_[u + 1]};
+  }
+
+  uint32_t Degree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// O(log deg) adjacency test.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Canonical edge list (sorted, first <= second), one entry per edge.
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  bool operator==(const Graph& other) const {
+    return num_nodes_ == other.num_nodes_ && edges_ == other.edges_;
+  }
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<uint64_t> offsets_;   // size num_nodes_ + 1
+  std::vector<NodeId> adjacency_;   // size 2 * |E|
+  std::vector<Edge> edges_;         // canonical list, |E| entries
+};
+
+}  // namespace slugger::graph
+
+#endif  // SLUGGER_GRAPH_GRAPH_HPP_

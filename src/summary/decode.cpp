@@ -1,0 +1,48 @@
+#include "summary/decode.hpp"
+
+#include <unordered_map>
+
+#include "graph/edge_list.hpp"
+#include "util/hashing.hpp"
+
+namespace slugger::summary {
+
+graph::Graph Decode(const SummaryGraph& summary) {
+  const NodeId n = summary.num_leaves();
+
+  std::unordered_map<uint64_t, int32_t> coverage;
+  coverage.reserve(summary.p_count() * 2 + 16);
+
+  std::vector<NodeId> leaves_a;
+  std::vector<NodeId> leaves_b;
+  summary.ForEachEdge([&](SupernodeId a, SupernodeId b, EdgeSign sign) {
+    if (a == b) {
+      summary.CollectLeaves(a, &leaves_a);
+      for (size_t i = 0; i < leaves_a.size(); ++i) {
+        for (size_t j = i + 1; j < leaves_a.size(); ++j) {
+          coverage[PairKey(leaves_a[i], leaves_a[j])] += sign;
+        }
+      }
+    } else {
+      // Non-self superedges join disjoint supernodes (nested pairs are
+      // excluded by the model restriction), so the cross product never
+      // repeats a subnode pair.
+      summary.CollectLeaves(a, &leaves_a);
+      summary.CollectLeaves(b, &leaves_b);
+      for (NodeId u : leaves_a) {
+        for (NodeId v : leaves_b) {
+          coverage[PairKey(u, v)] += sign;
+        }
+      }
+    }
+  });
+
+  graph::EdgeListBuilder builder(n);
+  builder.EnsureNodes(n);
+  for (const auto& [key, net] : coverage) {
+    if (net > 0) builder.Add(PairFirst(key), PairSecond(key));
+  }
+  return graph::Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace slugger::summary

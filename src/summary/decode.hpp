@@ -1,0 +1,18 @@
+// Full decompression of a hierarchical summary back to the input graph.
+#ifndef SLUGGER_SUMMARY_DECODE_HPP_
+#define SLUGGER_SUMMARY_DECODE_HPP_
+
+#include "graph/graph.hpp"
+#include "summary/summary_graph.hpp"
+
+namespace slugger::summary {
+
+/// Reconstructs the exact graph a summary represents: subedge (u, v) exists
+/// iff the net signed coverage of {u, v} is positive (paper §II-B).
+/// Cost is linear in the total pair coverage of all superedges, which for
+/// SLUGGER outputs is O(|E| + cancelled pairs).
+graph::Graph Decode(const SummaryGraph& summary);
+
+}  // namespace slugger::summary
+
+#endif  // SLUGGER_SUMMARY_DECODE_HPP_

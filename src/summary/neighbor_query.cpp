@@ -1,0 +1,34 @@
+#include "summary/neighbor_query.hpp"
+
+namespace slugger::summary {
+
+NeighborQuery::NeighborQuery(const SummaryGraph& summary) : summary_(summary) {
+  count_.assign(summary.num_leaves(), 0);
+}
+
+const std::vector<NodeId>& NeighborQuery::Neighbors(NodeId v) {
+  const HierarchyForest& forest = summary_.forest();
+  result_.clear();
+
+  // Walk the ancestor chain of v (including the leaf {v} itself); apply
+  // each incident superedge's coverage to the per-subnode counters.
+  SupernodeId node = v;
+  while (node != kInvalidId) {
+    summary_.ForEachEdgeOf(node, [&](SupernodeId other, EdgeSign sign) {
+      forest.ForEachLeaf(other, [&](NodeId u) {
+        if (count_[u] == 0 && sign != 0) touched_.push_back(u);
+        count_[u] += sign;
+      });
+    });
+    node = forest.Parent(node);
+  }
+
+  for (NodeId u : touched_) {
+    if (count_[u] > 0 && u != v) result_.push_back(u);
+    count_[u] = 0;
+  }
+  touched_.clear();
+  return result_;
+}
+
+}  // namespace slugger::summary

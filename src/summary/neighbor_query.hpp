@@ -1,0 +1,37 @@
+// Partial decompression: neighbor retrieval directly on a summary
+// (paper Algorithm 4) without reconstructing the whole graph.
+#ifndef SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
+#define SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
+
+#include <vector>
+
+#include "summary/summary_graph.hpp"
+#include "util/types.hpp"
+
+namespace slugger::summary {
+
+/// Reusable neighbor-query engine over a fixed summary. Not thread-safe
+/// (keeps per-query scratch buffers to stay allocation-free after warmup).
+class NeighborQuery {
+ public:
+  explicit NeighborQuery(const SummaryGraph& summary);
+
+  /// One-hop neighbors of subnode v in the represented graph, in
+  /// unspecified order. Implements Algorithm 4: walk v's ancestors, apply
+  /// signed coverage of their superedges, keep subnodes with positive net.
+  const std::vector<NodeId>& Neighbors(NodeId v);
+
+  /// Degree of v (size of Neighbors(v)).
+  size_t Degree(NodeId v) { return Neighbors(v).size(); }
+
+ private:
+  const SummaryGraph& summary_;
+  std::vector<int32_t> count_;       // per-subnode signed coverage
+  std::vector<NodeId> touched_;      // subnodes with nonzero entries
+  std::vector<NodeId> result_;
+  std::vector<NodeId> leaf_buffer_;
+};
+
+}  // namespace slugger::summary
+
+#endif  // SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_

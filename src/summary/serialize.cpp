@@ -1,0 +1,201 @@
+#include "summary/serialize.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/varint.hpp"
+
+namespace slugger::summary {
+
+namespace {
+constexpr uint64_t kMagic = 0x534C474753554Dull;  // "SLGGSUM"
+constexpr uint64_t kVersion = 1;
+}  // namespace
+
+std::string SerializeSummary(const SummaryGraph& summary) {
+  const HierarchyForest& forest = summary.forest();
+  std::string out;
+  PutVarint64(&out, kMagic);
+  PutVarint64(&out, kVersion);
+  PutVarint64(&out, forest.num_leaves());
+
+  // Renumber alive supernodes: leaves keep their ids; non-leaves get dense
+  // ids in a bottom-up (children-before-parent) order, which creation order
+  // already guarantees; pruning only removes nodes, preserving the order.
+  std::vector<SupernodeId> non_leaves;
+  std::vector<SupernodeId> renumber(forest.capacity(), kInvalidId);
+  for (NodeId u = 0; u < forest.num_leaves(); ++u) renumber[u] = u;
+  for (SupernodeId s = forest.num_leaves(); s < forest.capacity(); ++s) {
+    if (forest.IsAlive(s)) {
+      renumber[s] = forest.num_leaves() + static_cast<SupernodeId>(non_leaves.size());
+      non_leaves.push_back(s);
+    }
+  }
+
+  PutVarint64(&out, non_leaves.size());
+  for (SupernodeId s : non_leaves) {
+    const auto& kids = forest.Children(s);
+    PutVarint64(&out, kids.size());
+    std::vector<SupernodeId> mapped;
+    mapped.reserve(kids.size());
+    for (SupernodeId c : kids) mapped.push_back(renumber[c]);
+    std::sort(mapped.begin(), mapped.end());
+    SupernodeId prev = 0;
+    for (SupernodeId c : mapped) {
+      PutVarint64(&out, c - prev);
+      prev = c;
+    }
+  }
+
+  // Edges, sorted canonically on renumbered ids, delta-coded.
+  std::vector<std::pair<uint64_t, EdgeSign>> edges;
+  edges.reserve(summary.p_count() + summary.n_count());
+  summary.ForEachEdge([&](SupernodeId a, SupernodeId b, EdgeSign sign) {
+    uint64_t ra = renumber[a];
+    uint64_t rb = renumber[b];
+    if (ra > rb) std::swap(ra, rb);
+    edges.emplace_back((ra << 32) | rb, sign);
+  });
+  std::sort(edges.begin(), edges.end());
+  PutVarint64(&out, edges.size());
+  uint64_t prev_a = 0;
+  uint64_t prev_b = 0;
+  for (const auto& [key, sign] : edges) {
+    uint64_t a = key >> 32;
+    uint64_t b = key & 0xFFFFFFFFull;
+    if (a != prev_a) {
+      PutVarint64(&out, a - prev_a);
+      prev_a = a;
+      prev_b = 0;
+    } else {
+      PutVarint64(&out, 0);
+    }
+    PutVarint64(&out, ((b - prev_b) << 1) | (sign > 0 ? 1 : 0));
+    prev_b = b;
+  }
+  return out;
+}
+
+StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer) {
+  VarintReader reader(buffer);
+  uint64_t magic = 0, version = 0, num_leaves = 0, num_internal = 0;
+  Status s = reader.Get(&magic);
+  if (!s.ok()) return s;
+  if (magic != kMagic) return Status::Corruption("bad summary magic");
+  if (!(s = reader.Get(&version)).ok()) return s;
+  if (version != kVersion) return Status::Corruption("unsupported version");
+  if (!(s = reader.Get(&num_leaves)).ok()) return s;
+  if (num_leaves > 0xFFFFFFFEull) return Status::Corruption("leaf overflow");
+  if (!(s = reader.Get(&num_internal)).ok()) return s;
+
+  SummaryGraph summary(static_cast<NodeId>(num_leaves));
+  uint64_t total = num_leaves + num_internal;
+  if (total > 0xFFFFFFFEull) return Status::Corruption("supernode overflow");
+  // A forest over n leaves whose internal nodes all have >= 2 children has
+  // at most n - 1 internal nodes.
+  if (num_internal + 1 > num_leaves && num_internal != 0) {
+    return Status::Corruption("too many internal supernodes");
+  }
+
+  // Rebuild the forest. Children arrive before parents; we first create all
+  // internal nodes as parents of a fake pair, so instead we reconstruct
+  // manually through CreateParent on the first two children and a splice
+  // trick is avoided by building with explicit adoption below.
+  std::vector<std::vector<SupernodeId>> pending(num_internal);
+  for (uint64_t i = 0; i < num_internal; ++i) {
+    uint64_t num_children = 0;
+    if (!(s = reader.Get(&num_children)).ok()) return s;
+    if (num_children < 2) return Status::Corruption("supernode with <2 children");
+    uint64_t prev = 0;
+    for (uint64_t j = 0; j < num_children; ++j) {
+      uint64_t delta = 0;
+      if (!(s = reader.Get(&delta)).ok()) return s;
+      uint64_t child = prev + delta;
+      prev = child;
+      if (child >= num_leaves + i) {
+        return Status::Corruption("child id out of range (not bottom-up)");
+      }
+      pending[i].push_back(static_cast<SupernodeId>(child));
+    }
+  }
+
+  // Materialize: create each internal node from its first two children,
+  // then adopt the remaining children via forest surgery.
+  HierarchyForest& forest = summary.forest();
+  std::vector<uint8_t> has_parent(total, 0);
+  for (uint64_t i = 0; i < num_internal; ++i) {
+    for (SupernodeId c : pending[i]) {
+      if (has_parent[c]) return Status::Corruption("node parented twice");
+      has_parent[c] = 1;
+      if (!forest.IsRoot(c)) return Status::Corruption("child is not a root");
+    }
+    SupernodeId m = summary.Merge(pending[i][0], pending[i][1]);
+    for (size_t j = 2; j < pending[i].size(); ++j) {
+      // Adopt: create a temporary pair then splice — instead we extend the
+      // forest API minimally: Merge handles pairs; remaining children are
+      // attached through AdoptChild.
+      forest.AdoptChild(m, pending[i][j]);
+    }
+  }
+
+  // Edges.
+  uint64_t num_edges = 0;
+  if (!(s = reader.Get(&num_edges)).ok()) return s;
+  uint64_t prev_a = 0;
+  uint64_t prev_b = 0;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint64_t da = 0, packed = 0;
+    if (!(s = reader.Get(&da)).ok()) return s;
+    if (da != 0) {
+      prev_a += da;
+      prev_b = 0;
+    }
+    if (!(s = reader.Get(&packed)).ok()) return s;
+    uint64_t b = prev_b + (packed >> 1);
+    prev_b = b;
+    EdgeSign sign = (packed & 1) ? +1 : -1;
+    uint64_t a = prev_a;
+    if (a >= total || b >= total || a > b) {
+      return Status::Corruption("superedge out of range");
+    }
+    if (!forest.IsAlive(static_cast<SupernodeId>(a)) ||
+        !forest.IsAlive(static_cast<SupernodeId>(b))) {
+      return Status::Corruption("superedge touches dead supernode");
+    }
+    if (a != b && (forest.IsProperAncestor(static_cast<SupernodeId>(a),
+                                           static_cast<SupernodeId>(b)) ||
+                   forest.IsProperAncestor(static_cast<SupernodeId>(b),
+                                           static_cast<SupernodeId>(a)))) {
+      return Status::Corruption("nested superedge");
+    }
+    if (summary.GetSign(static_cast<SupernodeId>(a),
+                        static_cast<SupernodeId>(b)) != 0) {
+      return Status::Corruption("duplicate superedge");
+    }
+    summary.AddEdge(static_cast<SupernodeId>(a), static_cast<SupernodeId>(b),
+                    sign);
+  }
+  if (!reader.exhausted()) return Status::Corruption("trailing bytes");
+  return summary;
+}
+
+Status SaveSummary(const SummaryGraph& summary, const std::string& path) {
+  std::string buf = SerializeSummary(summary);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+StatusOr<SummaryGraph> LoadSummary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return DeserializeSummary(ss.str());
+}
+
+}  // namespace slugger::summary

@@ -1,0 +1,32 @@
+// Binary serialization of hierarchical summaries.
+//
+// Format (all varint-coded):
+//   magic, version, num_leaves,
+//   #non-leaf supernodes, then per supernode (bottom-up order):
+//     #children, child ids (delta-coded against a running counter),
+//   #superedges, then per edge: a-delta, b-delta, sign bit.
+// Loading validates structure (each node parented once, ids in range,
+// signs well-formed) and returns Corruption on any inconsistency.
+#ifndef SLUGGER_SUMMARY_SERIALIZE_HPP_
+#define SLUGGER_SUMMARY_SERIALIZE_HPP_
+
+#include <string>
+
+#include "summary/summary_graph.hpp"
+#include "util/status.hpp"
+
+namespace slugger::summary {
+
+/// Serializes to an in-memory buffer.
+std::string SerializeSummary(const SummaryGraph& summary);
+
+/// Parses a buffer produced by SerializeSummary.
+StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer);
+
+/// File convenience wrappers.
+Status SaveSummary(const SummaryGraph& summary, const std::string& path);
+StatusOr<SummaryGraph> LoadSummary(const std::string& path);
+
+}  // namespace slugger::summary
+
+#endif  // SLUGGER_SUMMARY_SERIALIZE_HPP_

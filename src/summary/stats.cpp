@@ -1,0 +1,39 @@
+#include "summary/stats.hpp"
+
+#include <cstdio>
+
+namespace slugger::summary {
+
+SummaryStats ComputeStats(const SummaryGraph& summary) {
+  const HierarchyForest& forest = summary.forest();
+  SummaryStats stats;
+  stats.num_subnodes = forest.num_leaves();
+  stats.num_supernodes = forest.alive_count();
+  for (SupernodeId s = 0; s < forest.capacity(); ++s) {
+    if (forest.IsRoot(s)) ++stats.num_roots;
+  }
+  stats.p_count = summary.p_count();
+  stats.n_count = summary.n_count();
+  stats.h_count = summary.h_count();
+  stats.cost = summary.Cost();
+  stats.max_height = forest.MaxHeight();
+  stats.avg_leaf_depth = forest.AvgLeafDepth();
+  return stats;
+}
+
+std::string SummaryStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "supernodes=%llu roots=%llu |P+|=%llu |P-|=%llu |H|=%llu "
+                "cost=%llu max_height=%u avg_leaf_depth=%.3f",
+                static_cast<unsigned long long>(num_supernodes),
+                static_cast<unsigned long long>(num_roots),
+                static_cast<unsigned long long>(p_count),
+                static_cast<unsigned long long>(n_count),
+                static_cast<unsigned long long>(h_count),
+                static_cast<unsigned long long>(cost), max_height,
+                avg_leaf_depth);
+  return buf;
+}
+
+}  // namespace slugger::summary

@@ -1,0 +1,44 @@
+// Descriptive statistics of a summary, matching the paper's reporting.
+#ifndef SLUGGER_SUMMARY_STATS_HPP_
+#define SLUGGER_SUMMARY_STATS_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "summary/summary_graph.hpp"
+
+namespace slugger::summary {
+
+/// Aggregates reported across the paper's tables and figures.
+struct SummaryStats {
+  uint64_t num_subnodes = 0;
+  uint64_t num_supernodes = 0;   ///< alive supernodes, leaves included
+  uint64_t num_roots = 0;
+  uint64_t p_count = 0;
+  uint64_t n_count = 0;
+  uint64_t h_count = 0;
+  uint64_t cost = 0;             ///< |P+| + |P-| + |H| (Eq. 1)
+  uint32_t max_height = 0;       ///< Table IV "Max Height"
+  double avg_leaf_depth = 0.0;   ///< Table IV/V "Avg. Depth of Leaf Nodes"
+
+  /// Eq. 10: cost / |E| of the input graph.
+  double RelativeSize(uint64_t input_edges) const {
+    return input_edges == 0 ? 0.0
+                            : static_cast<double>(cost) /
+                                  static_cast<double>(input_edges);
+  }
+
+  /// Fractions for Fig. 6 (p-edges : n-edges : h-edges).
+  double PFraction() const { return cost ? 1.0 * p_count / cost : 0.0; }
+  double NFraction() const { return cost ? 1.0 * n_count / cost : 0.0; }
+  double HFraction() const { return cost ? 1.0 * h_count / cost : 0.0; }
+
+  std::string ToString() const;
+};
+
+/// Computes all statistics in one pass over the summary.
+SummaryStats ComputeStats(const SummaryGraph& summary);
+
+}  // namespace slugger::summary
+
+#endif  // SLUGGER_SUMMARY_STATS_HPP_

@@ -1,0 +1,46 @@
+#include "summary/verify.hpp"
+
+#include <string>
+
+#include "summary/decode.hpp"
+
+namespace slugger::summary {
+
+Status VerifyLossless(const graph::Graph& expected, const SummaryGraph& summary) {
+  if (summary.num_leaves() != expected.num_nodes()) {
+    return Status::Corruption(
+        "node count mismatch: summary has " +
+        std::to_string(summary.num_leaves()) + ", graph has " +
+        std::to_string(expected.num_nodes()));
+  }
+  graph::Graph decoded = Decode(summary);
+  if (decoded == expected) return Status::OK();
+
+  // Report a small sample of differing edges to aid debugging.
+  std::string diff;
+  int reported = 0;
+  const auto& a = expected.Edges();
+  const auto& b = decoded.Edges();
+  size_t i = 0, j = 0;
+  while ((i < a.size() || j < b.size()) && reported < 5) {
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      diff += " missing(" + std::to_string(a[i].first) + "," +
+              std::to_string(a[i].second) + ")";
+      ++i;
+      ++reported;
+    } else if (i >= a.size() || b[j] < a[i]) {
+      diff += " spurious(" + std::to_string(b[j].first) + "," +
+              std::to_string(b[j].second) + ")";
+      ++j;
+      ++reported;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return Status::Corruption(
+      "decode mismatch: expected " + std::to_string(a.size()) + " edges, got " +
+      std::to_string(b.size()) + ";" + diff);
+}
+
+}  // namespace slugger::summary

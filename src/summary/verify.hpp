@@ -1,0 +1,17 @@
+// Losslessness verification: does a summary represent exactly this graph?
+#ifndef SLUGGER_SUMMARY_VERIFY_HPP_
+#define SLUGGER_SUMMARY_VERIFY_HPP_
+
+#include "graph/graph.hpp"
+#include "summary/summary_graph.hpp"
+#include "util/status.hpp"
+
+namespace slugger::summary {
+
+/// Decodes `summary` and compares against `expected` edge-for-edge.
+/// OK on exact match; Corruption with a diff sample otherwise.
+Status VerifyLossless(const graph::Graph& expected, const SummaryGraph& summary);
+
+}  // namespace slugger::summary
+
+#endif  // SLUGGER_SUMMARY_VERIFY_HPP_

@@ -1,0 +1,43 @@
+// Hash mixers and keyed hash families used by min-hashing and hash tables.
+#ifndef SLUGGER_UTIL_HASHING_HPP_
+#define SLUGGER_UTIL_HASHING_HPP_
+
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace slugger {
+
+/// Packs an unordered pair of 32-bit ids into a canonical 64-bit key.
+inline uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) {
+    uint32_t t = a;
+    a = b;
+    b = t;
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// First component of a PairKey.
+inline uint32_t PairFirst(uint64_t key) { return static_cast<uint32_t>(key >> 32); }
+
+/// Second component of a PairKey.
+inline uint32_t PairSecond(uint64_t key) { return static_cast<uint32_t>(key); }
+
+/// A keyed hash family: each `seed` selects an independent-looking hash of
+/// 32-bit ids into 64-bit values. Used for per-iteration min-hash shingles.
+class KeyedHash {
+ public:
+  explicit KeyedHash(uint64_t seed) : key_(Mix64(seed ^ 0xA24BAED4963EE407ull)) {}
+
+  uint64_t operator()(uint32_t x) const {
+    return Mix64(key_ ^ (static_cast<uint64_t>(x) * 0x9E3779B97F4A7C15ull));
+  }
+
+ private:
+  uint64_t key_;
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_HASHING_HPP_

@@ -1,0 +1,38 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace slugger {
+
+std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k, Rng& rng) {
+  assert(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense: shuffle a full index vector and truncate.
+    std::vector<uint64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    rng.Shuffle(all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse: Floyd's algorithm.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = rng.Below(j + 1);
+    if (!seen.insert(t).second) {
+      seen.insert(j);
+      out.push_back(j);
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace slugger

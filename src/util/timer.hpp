@@ -1,0 +1,30 @@
+// Wall-clock timing helper for benchmarks and progress reporting.
+#ifndef SLUGGER_UTIL_TIMER_HPP_
+#define SLUGGER_UTIL_TIMER_HPP_
+
+#include <chrono>
+
+namespace slugger {
+
+/// Monotonic stopwatch; starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_TIMER_HPP_

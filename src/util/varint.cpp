@@ -1,0 +1,53 @@
+#include "util/varint.hpp"
+
+namespace slugger {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutVarintSigned64(std::string* out, int64_t value) {
+  uint64_t zz = (static_cast<uint64_t>(value) << 1) ^
+                static_cast<uint64_t>(value >> 63);
+  PutVarint64(out, zz);
+}
+
+Status VarintReader::Get(uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift == 63 && byte > 1) {
+      return Status::Corruption("varint64 overflow");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+    shift += 7;
+    if (shift > 63) return Status::Corruption("varint64 too long");
+  }
+  return Status::Corruption("truncated varint64");
+}
+
+Status VarintReader::GetSigned(int64_t* value) {
+  uint64_t zz = 0;
+  Status s = Get(&zz);
+  if (!s.ok()) return s;
+  *value = static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
+  return Status::OK();
+}
+
+Status VarintReader::GetBytes(size_t n, std::string* out) {
+  if (remaining() < n) return Status::Corruption("truncated byte run");
+  out->assign(data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace slugger

@@ -1,0 +1,46 @@
+// LEB128 variable-length integer coding for compact binary serialization.
+#ifndef SLUGGER_UTIL_VARINT_HPP_
+#define SLUGGER_UTIL_VARINT_HPP_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace slugger {
+
+/// Appends an unsigned LEB128 encoding of `value` to `out`.
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Zig-zag + LEB128 for signed values.
+void PutVarintSigned64(std::string* out, int64_t value);
+
+/// Cursor over a byte buffer for varint decoding.
+class VarintReader {
+ public:
+  VarintReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit VarintReader(const std::string& buf)
+      : VarintReader(buf.data(), buf.size()) {}
+
+  /// Reads an unsigned varint into *value.
+  Status Get(uint64_t* value);
+
+  /// Reads a zig-zag signed varint into *value.
+  Status GetSigned(int64_t* value);
+
+  /// Reads `n` raw bytes into *out.
+  Status GetBytes(size_t n, std::string* out);
+
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_VARINT_HPP_

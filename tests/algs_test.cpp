@@ -1,0 +1,114 @@
+// Graph algorithms on summaries must agree with the raw graph (§VIII-C).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algs/bfs.hpp"
+#include "algs/dfs.hpp"
+#include "algs/dijkstra.hpp"
+#include "algs/pagerank.hpp"
+#include "algs/triangles.hpp"
+#include "core/slugger.hpp"
+#include "gen/generators.hpp"
+
+namespace slugger::algs {
+namespace {
+
+struct Instance {
+  graph::Graph g;
+  summary::SummaryGraph summary;
+};
+
+Instance MakeInstance(uint64_t seed) {
+  gen::PlantedHierarchyOptions opt;
+  opt.branching = 3;
+  opt.depth = 2;
+  opt.leaf_size = 7;
+  opt.leaf_density = 0.9;
+  opt.pair_link_prob = 0.5;
+  opt.pair_link_decay = 0.4;
+  opt.noise_density = 0.003;
+  graph::Graph g = gen::PlantedHierarchy(opt, seed);
+  core::SluggerConfig config;
+  config.iterations = 10;
+  config.seed = seed;
+  core::SluggerResult r = core::Summarize(g, config);
+  return {std::move(g), std::move(r.summary)};
+}
+
+class AlgsOnSummary : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlgsOnSummary, BfsDistancesMatch) {
+  Instance inst = MakeInstance(GetParam());
+  for (NodeId start : {NodeId{0}, inst.g.num_nodes() / 2}) {
+    EXPECT_EQ(BfsOnGraph(inst.g, start), BfsOnSummary(inst.summary, start));
+  }
+}
+
+TEST_P(AlgsOnSummary, DfsVisitsSameComponent) {
+  Instance inst = MakeInstance(GetParam());
+  auto raw = DfsOnGraph(inst.g, 0);
+  auto cmp = DfsOnSummary(inst.summary, 0);
+  // Neighbor order differs between sources; compare visited sets.
+  std::set<NodeId> raw_set(raw.begin(), raw.end());
+  std::set<NodeId> cmp_set(cmp.begin(), cmp.end());
+  EXPECT_EQ(raw_set, cmp_set);
+}
+
+TEST_P(AlgsOnSummary, PageRankMatches) {
+  Instance inst = MakeInstance(GetParam());
+  auto raw = PageRankOnGraph(inst.g, 0.85, 20);
+  auto cmp = PageRankOnSummary(inst.summary, 0.85, 20);
+  ASSERT_EQ(raw.size(), cmp.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(raw[i], cmp[i], 1e-12) << "node " << i;
+  }
+}
+
+TEST_P(AlgsOnSummary, DijkstraMatchesAndEqualsBfs) {
+  Instance inst = MakeInstance(GetParam());
+  NodeId start = 1;
+  auto dij_raw = DijkstraOnGraph(inst.g, start);
+  auto dij_sum = DijkstraOnSummary(inst.summary, start);
+  auto bfs = BfsOnGraph(inst.g, start);
+  ASSERT_EQ(dij_raw.size(), dij_sum.size());
+  for (size_t i = 0; i < dij_raw.size(); ++i) {
+    EXPECT_EQ(dij_raw[i], dij_sum[i]);
+    uint64_t bfs_d = bfs[i] == kUnreached ? kInfDistance : bfs[i];
+    EXPECT_EQ(dij_raw[i], bfs_d) << "unit-weight Dijkstra == BFS";
+  }
+}
+
+TEST_P(AlgsOnSummary, TriangleCountsMatch) {
+  Instance inst = MakeInstance(GetParam());
+  EXPECT_EQ(TrianglesOnGraph(inst.g), TrianglesOnSummary(inst.summary));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgsOnSummary,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(Algs, KnownTriangleCount) {
+  // K4 has 4 triangles.
+  graph::Graph g = graph::Graph::FromEdges(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(TrianglesOnGraph(g), 4u);
+}
+
+TEST(Algs, BfsUnreachableMarked) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}});
+  auto dist = BfsOnGraph(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreached);
+}
+
+TEST(Algs, PageRankSumsToOne) {
+  graph::Graph g = gen::ErdosRenyi(100, 300, 3);
+  auto pr = PageRankOnGraph(g, 0.85, 30);
+  double sum = 0;
+  for (double v : pr) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace slugger::algs

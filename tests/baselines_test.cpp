@@ -1,0 +1,192 @@
+// Unit tests for the flat model and the four baseline heuristics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "baselines/flat_model.hpp"
+#include "graph/edge_list.hpp"
+#include "baselines/mosso.hpp"
+#include "baselines/partition_state.hpp"
+#include "baselines/randomized.hpp"
+#include "baselines/sags.hpp"
+#include "baselines/sweg.hpp"
+#include "gen/generators.hpp"
+#include "util/random.hpp"
+
+namespace slugger::baselines {
+namespace {
+
+graph::Graph TwinCliques() {
+  // Two 4-cliques joined by one bridge.
+  graph::EdgeListBuilder b(8);
+  for (NodeId base : {0u, 4u}) {
+    for (NodeId i = 0; i < 4; ++i) {
+      for (NodeId j = i + 1; j < 4; ++j) b.Add(base + i, base + j);
+    }
+  }
+  b.Add(3, 4);
+  return graph::Graph::FromCanonicalEdges(8, b.Finalize());
+}
+
+// ----------------------------------------------------------- flat model
+TEST(FlatModel, TrivialPartitionIsInput) {
+  graph::Graph g = gen::ErdosRenyi(50, 180, 1);
+  std::vector<uint32_t> identity(g.num_nodes());
+  std::iota(identity.begin(), identity.end(), 0u);
+  FlatSummary s = EncodePartition(g, identity, g.num_nodes());
+  EXPECT_EQ(s.Cost(), g.num_edges());
+  EXPECT_EQ(s.MembershipCost(), 0u);
+  EXPECT_EQ(DecodeFlat(s), g);
+}
+
+TEST(FlatModel, CliquePartitionUsesSuperedges) {
+  graph::Graph g = TwinCliques();
+  std::vector<uint32_t> groups(8);
+  for (NodeId u = 0; u < 8; ++u) groups[u] = u / 4;
+  FlatSummary s = EncodePartition(g, groups, 2);
+  // Two self superedges + the bridge correction = 3 vs. 13 raw edges.
+  EXPECT_EQ(s.Cost(), 3u);
+  EXPECT_EQ(s.MembershipCost(), 8u);
+  EXPECT_EQ(DecodeFlat(s), g);
+}
+
+TEST(FlatModel, ChoosesCorrectionsWhenSparse) {
+  // Two singleton-ish groups with one edge between big groups: no
+  // superedge is worth it.
+  graph::Graph g = graph::Graph::FromEdges(6, {{0, 3}});
+  std::vector<uint32_t> groups{0, 0, 0, 1, 1, 1};
+  FlatSummary s = EncodePartition(g, groups, 2);
+  EXPECT_TRUE(s.superedges.empty());
+  EXPECT_EQ(s.corrections_plus.size(), 1u);
+  EXPECT_EQ(DecodeFlat(s), g);
+}
+
+TEST(FlatModel, EncodeIsOptimalPerPair) {
+  // For each adjacent group pair the chosen encoding must equal
+  // min(e, 1 + t - e); verify on a randomized instance.
+  graph::Graph g = gen::ErdosRenyi(40, 200, 9);
+  Rng rng(4);
+  std::vector<uint32_t> groups(g.num_nodes());
+  for (auto& v : groups) v = static_cast<uint32_t>(rng.Below(8));
+  FlatSummary s = EncodePartition(g, groups, 8);
+  EXPECT_EQ(DecodeFlat(s), g);
+  // Recompute the optimum directly.
+  std::vector<uint32_t> sizes(8, 0);
+  for (uint32_t gid : groups) ++sizes[gid];
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> e;
+  for (const Edge& edge : g.Edges()) {
+    uint32_t a = groups[edge.first], b = groups[edge.second];
+    if (a > b) std::swap(a, b);
+    ++e[{a, b}];
+  }
+  uint64_t optimal = 0;
+  for (const auto& [pair, count] : e) {
+    uint64_t t = pair.first == pair.second
+                     ? static_cast<uint64_t>(sizes[pair.first]) *
+                           (sizes[pair.first] - 1) / 2
+                     : static_cast<uint64_t>(sizes[pair.first]) *
+                           sizes[pair.second];
+    optimal += std::min(count, 1 + t - count);
+  }
+  EXPECT_EQ(s.Cost(), optimal);
+}
+
+// ------------------------------------------------------ partition state
+TEST(PartitionState, SavingOfTwinMerge) {
+  // Nodes 0,1 with identical neighborhoods {2,3,4}, not adjacent.
+  graph::Graph g = graph::Graph::FromEdges(
+      5, {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}});
+  PartitionState state(g);
+  // cost(0) = cost(1) = 3; merged: three pairs with e=2,t=2 -> 1 each = 3.
+  EXPECT_EQ(state.GroupCost(0), 3u);
+  EXPECT_EQ(state.MergedCost(0, 1), 3u);
+  EXPECT_DOUBLE_EQ(state.Saving(0, 1), 0.5);
+  uint32_t m = state.Merge(0, 1);
+  EXPECT_EQ(state.GroupSize(m), 2u);
+  EXPECT_EQ(state.GroupCost(m), 3u);
+}
+
+TEST(PartitionState, MergeFoldsAdjacency) {
+  graph::Graph g = TwinCliques();
+  PartitionState state(g);
+  uint32_t m = state.Merge(0, 1);
+  m = state.Merge(m, 2);
+  m = state.Merge(m, 3);
+  EXPECT_EQ(state.GroupSize(m), 4u);
+  EXPECT_EQ(state.WithinCount(m), 6u);
+  EXPECT_EQ(state.EdgesBetween(m, state.GroupOf(4)), 1u);
+  auto [dense, count] = state.DenseGroups();
+  EXPECT_EQ(count, 5u);  // merged clique + 4 singletons
+}
+
+// ------------------------------------------------------------ baselines
+TEST(Randomized, CompressesCliques) {
+  graph::Graph g = TwinCliques();
+  RandomizedConfig config;
+  config.seed = 3;
+  FlatSummary s = SummarizeRandomized(g, config);
+  EXPECT_EQ(DecodeFlat(s), g);
+  EXPECT_LT(s.Cost(), g.num_edges());
+}
+
+TEST(Randomized, TimeBudgetStillLossless) {
+  graph::Graph g = gen::ErdosRenyi(400, 1600, 5);
+  RandomizedConfig config;
+  config.seed = 1;
+  config.time_budget_seconds = 1e-6;  // give up immediately
+  FlatSummary s = SummarizeRandomized(g, config);
+  EXPECT_EQ(DecodeFlat(s), g);
+}
+
+TEST(Sweg, CompressesCliquesAndIsDeterministic) {
+  graph::Graph g = gen::Caveman(6, 10, 0.05, 7);
+  SwegConfig config;
+  config.iterations = 10;
+  config.seed = 5;
+  FlatSummary a = SummarizeSweg(g, config);
+  FlatSummary b = SummarizeSweg(g, config);
+  EXPECT_EQ(DecodeFlat(a), g);
+  EXPECT_EQ(a.Cost(), b.Cost());
+  EXPECT_LT(a.Cost(), g.num_edges());
+}
+
+TEST(Sags, FastAndLossless) {
+  graph::Graph g = gen::Caveman(6, 10, 0.05, 7);
+  SagsConfig config;
+  config.seed = 2;
+  FlatSummary s = SummarizeSags(g, config);
+  EXPECT_EQ(DecodeFlat(s), g);
+}
+
+TEST(Mosso, OnlineProcessingLossless) {
+  graph::Graph g = gen::Caveman(5, 8, 0.1, 3);
+  MossoConfig config;
+  config.seed = 4;
+  FlatSummary s = SummarizeMosso(g, config);
+  EXPECT_EQ(DecodeFlat(s), g);
+}
+
+TEST(Mosso, CompressesDuplicatedStructure) {
+  graph::Graph g = gen::DuplicationDivergence(600, 2, 0.5, 0.8, 6);
+  MossoConfig config;
+  config.seed = 1;
+  FlatSummary s = SummarizeMosso(g, config);
+  EXPECT_EQ(DecodeFlat(s), g);
+  EXPECT_LT(s.Cost() + s.MembershipCost(), g.num_edges() * 2);
+}
+
+TEST(Baselines, QualityOrderingOnBlockGraph) {
+  // On a strongly clustered graph SWeG should be at least as concise as
+  // SAGS (the paper's consistent ordering).
+  graph::Graph g = gen::Caveman(10, 12, 0.05, 11);
+  SwegConfig sweg_config;
+  sweg_config.iterations = 10;
+  SagsConfig sags_config;
+  uint64_t sweg_cost = SummarizeSweg(g, sweg_config).Cost();
+  uint64_t sags_cost = SummarizeSags(g, sags_config).Cost();
+  EXPECT_LE(sweg_cost, sags_cost + sags_cost / 10);
+}
+
+}  // namespace
+}  // namespace slugger::baselines

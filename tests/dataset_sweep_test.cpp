@@ -1,0 +1,80 @@
+// End-to-end sweep over the shipped dataset analogs at tiny scale: the
+// exact workloads the bench harness uses must summarize losslessly under
+// every algorithm, and SLUGGER must respect the paper's quality trends.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/sags.hpp"
+#include "baselines/sweg.hpp"
+#include "core/slugger.hpp"
+#include "gen/datasets.hpp"
+#include "summary/verify.hpp"
+
+namespace slugger {
+namespace {
+
+class DatasetSweep : public ::testing::TestWithParam<int> {
+ protected:
+  const gen::DatasetSpec& spec() const {
+    return gen::AllDatasets()[static_cast<size_t>(GetParam())];
+  }
+};
+
+TEST_P(DatasetSweep, SluggerLossless) {
+  graph::Graph g = gen::GenerateDataset(spec().name, gen::Scale::kTiny, 7);
+  core::SluggerConfig config;
+  config.iterations = 10;
+  config.seed = 7;
+  core::SluggerResult r = core::Summarize(g, config);
+  Status ok = summary::VerifyLossless(g, r.summary);
+  ASSERT_TRUE(ok.ok()) << spec().name << ": " << ok.ToString();
+  // Pruning substep 3 guarantees the cost never exceeds the flat-optimal
+  // encoding of the final partition, which is at most |E|.
+  EXPECT_LE(r.stats.cost, g.num_edges()) << spec().name;
+}
+
+TEST_P(DatasetSweep, SwegLossless) {
+  graph::Graph g = gen::GenerateDataset(spec().name, gen::Scale::kTiny, 7);
+  baselines::SwegConfig config;
+  config.iterations = 10;
+  config.seed = 7;
+  baselines::FlatSummary s = baselines::SummarizeSweg(g, config);
+  EXPECT_EQ(baselines::DecodeFlat(s), g) << spec().name;
+}
+
+TEST_P(DatasetSweep, SagsLossless) {
+  graph::Graph g = gen::GenerateDataset(spec().name, gen::Scale::kTiny, 7);
+  baselines::SagsConfig config;
+  config.seed = 7;
+  baselines::FlatSummary s = baselines::SummarizeSags(g, config);
+  EXPECT_EQ(baselines::DecodeFlat(s), g) << spec().name;
+}
+
+TEST_P(DatasetSweep, HierarchyAnalogsCompressWell) {
+  // The hyperlink analogs are the paper's strong-compression regime; the
+  // trend (ratio well under 1/2) must hold even at tiny scale.
+  const std::string& name = spec().name;
+  bool hyperlink = name == "CN-syn" || name == "EU-syn" || name == "IC-syn" ||
+                   name == "U2-syn" || name == "U5-syn" || name == "PR-syn";
+  if (!hyperlink) GTEST_SKIP() << "trend asserted for hyperlink analogs only";
+  graph::Graph g = gen::GenerateDataset(name, gen::Scale::kTiny, 7);
+  core::SluggerConfig config;
+  config.iterations = 15;
+  config.seed = 7;
+  core::SluggerResult r = core::Summarize(g, config);
+  EXPECT_LT(r.stats.RelativeSize(g.num_edges()), 0.5) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All16, DatasetSweep, ::testing::Range(0, 16),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string name = gen::AllDatasets()[info.param].name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace slugger

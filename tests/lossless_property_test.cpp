@@ -1,0 +1,148 @@
+// The library's central property: every summarizer is exactly lossless on
+// every workload. Parameterized sweep over generators x seeds x algorithms.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "baselines/mosso.hpp"
+#include "baselines/randomized.hpp"
+#include "baselines/sags.hpp"
+#include "baselines/sweg.hpp"
+#include "core/slugger.hpp"
+#include "gen/generators.hpp"
+#include "summary/verify.hpp"
+
+namespace slugger {
+namespace {
+
+struct Workload {
+  std::string name;
+  graph::Graph (*make)(uint64_t seed);
+};
+
+graph::Graph MakeEr(uint64_t seed) { return gen::ErdosRenyi(150, 600, seed); }
+graph::Graph MakeSparseEr(uint64_t seed) {
+  return gen::ErdosRenyi(300, 350, seed);
+}
+graph::Graph MakeBa(uint64_t seed) {
+  return gen::BarabasiAlbert(250, 3, 0.3, seed);
+}
+graph::Graph MakeDup(uint64_t seed) {
+  return gen::DuplicationDivergence(250, 2, 0.4, 0.7, seed);
+}
+graph::Graph MakeWs(uint64_t seed) {
+  return gen::WattsStrogatz(200, 6, 0.2, seed);
+}
+graph::Graph MakeCave(uint64_t seed) { return gen::Caveman(8, 14, 0.1, seed); }
+graph::Graph MakeHier(uint64_t seed) {
+  gen::PlantedHierarchyOptions opt;
+  opt.branching = 3;
+  opt.depth = 2;
+  opt.leaf_size = 8;
+  opt.leaf_density = 0.9;
+  opt.pair_link_prob = 0.5;
+  opt.pair_link_decay = 0.4;
+  opt.noise_density = 0.002;
+  return gen::PlantedHierarchy(opt, seed);
+}
+graph::Graph MakeAffil(uint64_t seed) {
+  return gen::Affiliation(300, 120, 3, 7, seed);
+}
+graph::Graph MakeRmat(uint64_t seed) {
+  return gen::RMat(9, 1500, 0.57, 0.19, 0.19, seed);
+}
+graph::Graph MakeFig3(uint64_t seed) {
+  return gen::Fig3Graph(6 + seed % 3, 4);
+}
+
+const Workload kWorkloads[] = {
+    {"erdos_renyi", MakeEr},       {"sparse_er", MakeSparseEr},
+    {"barabasi_albert", MakeBa},   {"duplication", MakeDup},
+    {"watts_strogatz", MakeWs},    {"caveman", MakeCave},
+    {"planted_hierarchy", MakeHier}, {"affiliation", MakeAffil},
+    {"rmat", MakeRmat},            {"fig3", MakeFig3},
+};
+
+class LosslessSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {
+ protected:
+  const Workload& workload() const {
+    return kWorkloads[std::get<0>(GetParam())];
+  }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(LosslessSweep, Slugger) {
+  graph::Graph g = workload().make(seed());
+  core::SluggerConfig config;
+  config.iterations = 8;
+  config.seed = seed();
+  core::SluggerResult r = core::Summarize(g, config);
+  Status ok = summary::VerifyLossless(g, r.summary);
+  ASSERT_TRUE(ok.ok()) << workload().name << " seed " << seed() << ": "
+                       << ok.ToString();
+  // Compression never exceeds the trivial encoding after pruning.
+  EXPECT_LE(r.stats.cost, g.num_edges());
+}
+
+TEST_P(LosslessSweep, SluggerHeightBounded) {
+  graph::Graph g = workload().make(seed());
+  core::SluggerConfig config;
+  config.iterations = 6;
+  config.seed = seed();
+  config.max_height = 3;
+  core::SluggerResult r = core::Summarize(g, config);
+  ASSERT_TRUE(summary::VerifyLossless(g, r.summary).ok())
+      << workload().name << " seed " << seed();
+}
+
+TEST_P(LosslessSweep, SwegBaseline) {
+  graph::Graph g = workload().make(seed());
+  baselines::SwegConfig config;
+  config.iterations = 6;
+  config.seed = seed();
+  baselines::FlatSummary s = baselines::SummarizeSweg(g, config);
+  EXPECT_EQ(baselines::DecodeFlat(s), g)
+      << workload().name << " seed " << seed();
+}
+
+TEST_P(LosslessSweep, RandomizedBaseline) {
+  graph::Graph g = workload().make(seed());
+  baselines::RandomizedConfig config;
+  config.seed = seed();
+  baselines::FlatSummary s = baselines::SummarizeRandomized(g, config);
+  EXPECT_EQ(baselines::DecodeFlat(s), g)
+      << workload().name << " seed " << seed();
+}
+
+TEST_P(LosslessSweep, SagsBaseline) {
+  graph::Graph g = workload().make(seed());
+  baselines::SagsConfig config;
+  config.seed = seed();
+  baselines::FlatSummary s = baselines::SummarizeSags(g, config);
+  EXPECT_EQ(baselines::DecodeFlat(s), g)
+      << workload().name << " seed " << seed();
+}
+
+TEST_P(LosslessSweep, MossoBaseline) {
+  graph::Graph g = workload().make(seed());
+  baselines::MossoConfig config;
+  config.seed = seed();
+  config.num_samples = 30;  // keep the sweep fast
+  baselines::FlatSummary s = baselines::SummarizeMosso(g, config);
+  EXPECT_EQ(baselines::DecodeFlat(s), g)
+      << workload().name << " seed " << seed();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, LosslessSweep,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
+      return kWorkloads[std::get<0>(info.param)].name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace slugger

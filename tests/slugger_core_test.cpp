@@ -1,0 +1,382 @@
+// Tests for SLUGGER's driver machinery: state aggregates, merge planner,
+// candidate generation, pruning substeps, thresholds, height bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/candidate_generation.hpp"
+#include "core/merge_planner.hpp"
+#include "core/pruning.hpp"
+#include "core/slugger.hpp"
+#include "core/slugger_state.hpp"
+#include "gen/generators.hpp"
+#include "summary/decode.hpp"
+#include "summary/verify.hpp"
+
+namespace slugger::core {
+namespace {
+
+graph::Graph TwinGraph() {
+  // Nodes 0 and 1 are twins: identical neighborhoods {2,3,4} and adjacent
+  // to each other — the canonical profitable merge.
+  return graph::Graph::FromEdges(
+      5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}});
+}
+
+// ----------------------------------------------------------------- state
+TEST(SluggerState, InitialAggregates) {
+  graph::Graph g = TwinGraph();
+  SluggerState state(g);
+  EXPECT_EQ(state.roots().size(), 5u);
+  EXPECT_EQ(state.IncCost(0), 4u);  // deg(0)
+  EXPECT_EQ(state.IncCost(2), 2u);
+  EXPECT_EQ(state.Between(0, 1), 1u);
+  EXPECT_EQ(state.HCost(0), 0u);
+  EXPECT_EQ(state.TotalCostFromAggregates(), g.num_edges());
+  EXPECT_TRUE(state.ValidateAggregates());
+}
+
+TEST(SluggerState, MergeFoldsAggregates) {
+  graph::Graph g = TwinGraph();
+  SluggerState state(g);
+  SupernodeId m = state.MergeRoots(0, 1);
+  EXPECT_EQ(state.FindRoot(0), m);
+  EXPECT_EQ(state.FindRoot(1), m);
+  EXPECT_EQ(state.HCost(m), 2u);
+  EXPECT_EQ(state.IncCost(m), 7u);  // all 7 edges touch the tree
+  EXPECT_EQ(state.Between(m, 2), 2u);
+  EXPECT_EQ(state.Height(m), 1u);
+  EXPECT_EQ(state.roots().size(), 4u);
+  EXPECT_TRUE(state.ValidateAggregates());
+}
+
+TEST(SluggerState, EdgeOpsKeepAggregatesConsistent) {
+  graph::Graph g = gen::ErdosRenyi(60, 240, 4);
+  SluggerState state(g);
+  MergePlanner planner(&state);
+  // Perform a few merges through the planner, validating after each.
+  Rng rng(5);
+  for (int step = 0; step < 10; ++step) {
+    SupernodeId a = state.roots()[rng.Below(state.roots().size())];
+    SupernodeId b = state.roots()[rng.Below(state.roots().size())];
+    if (a == b) continue;
+    MergePlan plan = planner.Evaluate(a, b);
+    ASSERT_TRUE(plan.valid);
+    planner.Commit(plan);
+    ASSERT_TRUE(state.ValidateAggregates()) << "step " << step;
+    ASSERT_EQ(state.TotalCostFromAggregates(), state.summary().Cost());
+  }
+}
+
+// --------------------------------------------------------------- planner
+TEST(MergePlanner, TwinMergeSavesAndStaysLossless) {
+  graph::Graph g = TwinGraph();
+  SluggerState state(g);
+  MergePlanner planner(&state);
+  MergePlan plan = planner.Evaluate(0, 1);
+  ASSERT_TRUE(plan.valid);
+  // Before: cost 7 (edges of 0 and 1). After: {0,1} with self-loop + three
+  // edges to 2,3,4 + 2 h-edges = 6.
+  EXPECT_EQ(plan.cost_before, 7u);
+  EXPECT_EQ(plan.cost_after, 6u);
+  EXPECT_NEAR(plan.saving, 1.0 - 6.0 / 7.0, 1e-12);
+  planner.Commit(plan);
+  EXPECT_TRUE(summary::VerifyLossless(g, state.summary()).ok());
+  EXPECT_EQ(state.summary().Cost(), 6u);
+}
+
+TEST(MergePlanner, CostAfterMatchesCommittedCost) {
+  // The predicted numerator must equal the real cost delta on commit.
+  graph::Graph g = gen::Caveman(4, 6, 0.15, 9);
+  SluggerState state(g);
+  MergePlanner planner(&state);
+  Rng rng(3);
+  for (int step = 0; step < 12; ++step) {
+    SupernodeId a = state.roots()[rng.Below(state.roots().size())];
+    SupernodeId b = state.roots()[rng.Below(state.roots().size())];
+    if (a == b) continue;
+    MergePlan plan = planner.Evaluate(a, b);
+    uint64_t other_cost = state.summary().Cost() + plan.cost_before -
+                          plan.cost_before;  // total before
+    uint64_t before_total = state.summary().Cost();
+    planner.Commit(plan);
+    uint64_t after_total = state.summary().Cost();
+    EXPECT_EQ(after_total - (before_total - plan.cost_before),
+              plan.cost_after)
+        << "step " << step;
+    (void)other_cost;
+    ASSERT_TRUE(summary::VerifyLossless(g, state.summary()).ok())
+        << "step " << step;
+  }
+}
+
+TEST(MergePlanner, DisjointMergeCostsTwoExtra) {
+  // Lemma 1: merging two far-apart roots adds exactly the two h-edges.
+  graph::Graph g = graph::Graph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}});
+  SluggerState state(g);
+  MergePlanner planner(&state);
+  MergePlan plan = planner.Evaluate(0, 2);
+  ASSERT_TRUE(plan.valid);
+  EXPECT_EQ(plan.cost_after, plan.cost_before + 2);
+  EXPECT_LT(plan.saving, 0.0);
+}
+
+TEST(MergePlanner, ScanPrefilterKeepsOverlappingPartners) {
+  graph::Graph g = TwinGraph();
+  SluggerState state(g);
+  MergePlanner planner(&state);
+  planner.BeginScan(0);
+  EXPECT_TRUE(planner.MayOverlap(1));  // adjacent
+  graph::Graph g2 = graph::Graph::FromEdges(6, {{0, 2}, {1, 2}, {4, 5}});
+  SluggerState state2(g2);
+  MergePlanner planner2(&state2);
+  planner2.BeginScan(0);
+  EXPECT_TRUE(planner2.MayOverlap(1));   // share neighbor 2
+  EXPECT_FALSE(planner2.MayOverlap(4));  // distance >= 3
+}
+
+// ---------------------------------------------------------- candidates
+TEST(CandidateGeneration, GroupsRespectSizeCap) {
+  graph::Graph g = gen::Caveman(10, 30, 0.05, 2);
+  SluggerState state(g);
+  CandidateGenerator generator(g, 1, /*max_group_size=*/16,
+                               /*shingle_levels=*/10);
+  auto groups = generator.Generate(state, 1);
+  ASSERT_FALSE(groups.empty());
+  std::set<SupernodeId> seen;
+  for (const auto& group : groups) {
+    EXPECT_GE(group.size(), 2u);
+    EXPECT_LE(group.size(), 16u);
+    for (SupernodeId r : group) {
+      EXPECT_TRUE(seen.insert(r).second) << "root in two groups";
+    }
+  }
+}
+
+TEST(CandidateGeneration, SimilarNeighborhoodsShareGroups) {
+  // Twins share their shingle, so some group must contain both.
+  graph::Graph g = TwinGraph();
+  SluggerState state(g);
+  CandidateGenerator generator(g, 3, 500, 10);
+  auto groups = generator.Generate(state, 1);
+  bool together = false;
+  for (const auto& group : groups) {
+    std::set<SupernodeId> s(group.begin(), group.end());
+    if (s.count(0) && s.count(1)) together = true;
+  }
+  EXPECT_TRUE(together);
+}
+
+TEST(CandidateGeneration, VariesAcrossIterations) {
+  graph::Graph g = gen::ErdosRenyi(300, 900, 8);
+  SluggerState state(g);
+  CandidateGenerator generator(g, 1, 500, 10);
+  auto g1 = generator.Generate(state, 1);
+  auto g2 = generator.Generate(state, 2);
+  // Different iteration hashes shuffle the groups (almost surely).
+  EXPECT_NE(g1, g2);
+}
+
+// -------------------------------------------------------------- pruning
+TEST(Pruning, Step1RemovesEdgeFreeSupernodes) {
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  summary::SummaryGraph s(4);
+  SupernodeId m = s.Merge(0, 1);
+  s.AddEdge(m, m, +1);       // encodes edge (0,1)
+  s.AddEdge(2, 3, +1);
+  SupernodeId useless = s.Merge(2, 3);  // no incident edges
+  (void)useless;
+  uint64_t before = s.Cost();
+  PruneOptions opt;
+  opt.enable_step2 = opt.enable_step3 = false;
+  PruneAblation ablation = PruneSummary(&s, g, opt);
+  EXPECT_EQ(ablation.stage[0].cost, before);
+  EXPECT_LT(s.Cost(), before);
+  EXPECT_TRUE(summary::VerifyLossless(g, s).ok());
+  EXPECT_TRUE(s.forest().IsRoot(2));
+}
+
+TEST(Pruning, Step2PushesSingleEdgeDown) {
+  // Root {0,1} with a single edge to node 2 dissolves; the edge reattaches
+  // to both children, saving |H| = 2 and paying one extra edge.
+  graph::Graph g = graph::Graph::FromEdges(3, {{0, 2}, {1, 2}});
+  summary::SummaryGraph s(3);
+  SupernodeId m = s.Merge(0, 1);
+  s.AddEdge(m, 2, +1);
+  EXPECT_EQ(s.Cost(), 3u);
+  PruneOptions opt;
+  opt.enable_step1 = opt.enable_step3 = false;
+  PruneSummary(&s, g, opt);
+  EXPECT_EQ(s.Cost(), 2u);
+  EXPECT_FALSE(s.forest().IsAlive(m));
+  EXPECT_TRUE(summary::VerifyLossless(g, s).ok());
+}
+
+TEST(Pruning, Step2SignCancellation) {
+  // p-edge ({0,1}, 2) with existing n-edge (1, 2): pushing down cancels.
+  graph::Graph g = graph::Graph::FromEdges(3, {{0, 2}});
+  summary::SummaryGraph s(3);
+  SupernodeId m = s.Merge(0, 1);
+  s.AddEdge(m, 2, +1);
+  s.AddEdge(1, 2, -1);
+  ASSERT_TRUE(summary::VerifyLossless(g, s).ok());
+  PruneOptions opt;
+  opt.enable_step1 = opt.enable_step3 = false;
+  PruneSummary(&s, g, opt);
+  EXPECT_TRUE(summary::VerifyLossless(g, s).ok());
+  EXPECT_EQ(s.Cost(), 1u);  // single p-edge (0, 2)
+}
+
+TEST(Pruning, Step3FlattensWhenCheaper) {
+  // A wasteful hierarchical encoding of a single edge collapses to flat.
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 2}, {1, 2}, {0, 3}, {1, 3}});
+  summary::SummaryGraph s(4);
+  // Encode each edge separately but hang 0,1 under a pointless supernode
+  // that carries a self-loop-free structure the flat model beats.
+  s.InitFromEdges(g.Edges());
+  summary::SummaryGraph flat_ref(4);
+  flat_ref.InitFromEdges(g.Edges());
+  SupernodeId m = s.Merge(0, 1);
+  // Re-encode {0,1} x {2}: single edge (m, 2); same for {3}.
+  s.RemoveEdge(0, 2);
+  s.RemoveEdge(1, 2);
+  s.AddEdge(m, 2, +1);
+  s.RemoveEdge(0, 3);
+  s.RemoveEdge(1, 3);
+  s.AddEdge(m, 3, +1);
+  EXPECT_EQ(s.Cost(), 4u);  // 2 p + 2 h
+  ASSERT_TRUE(summary::VerifyLossless(g, s).ok());
+  PruneOptions opt;
+  PruneAblation ablation = PruneSummary(&s, g, opt);
+  EXPECT_TRUE(summary::VerifyLossless(g, s).ok());
+  EXPECT_LE(s.Cost(), 4u);
+  EXPECT_LE(ablation.stage[3].cost, ablation.stage[0].cost);
+}
+
+TEST(Pruning, SubstepsMonotonicallyImprove) {
+  gen::PlantedHierarchyOptions opt_gen;
+  opt_gen.branching = 3;
+  opt_gen.depth = 2;
+  opt_gen.leaf_size = 7;
+  opt_gen.leaf_density = 0.9;
+  opt_gen.pair_link_prob = 0.5;
+  opt_gen.pair_link_decay = 0.5;
+  graph::Graph g = gen::PlantedHierarchy(opt_gen, 3);
+  SluggerConfig config;
+  config.iterations = 10;
+  config.pruning_rounds = 1;
+  SluggerResult r = Summarize(g, config);
+  const PruneAblation& ab = r.prune_ablation;
+  EXPECT_LE(ab.stage[1].cost, ab.stage[0].cost);
+  EXPECT_LE(ab.stage[2].cost, ab.stage[1].cost);
+  EXPECT_LE(ab.stage[3].cost, ab.stage[2].cost);
+  EXPECT_LE(ab.stage[3].max_height, ab.stage[0].max_height);
+  EXPECT_LE(ab.stage[3].avg_leaf_depth, ab.stage[0].avg_leaf_depth + 1e-9);
+}
+
+// ---------------------------------------------------------------- driver
+TEST(Driver, ThresholdSchedule) {
+  EXPECT_DOUBLE_EQ(MergingThreshold(1, 20), 0.5);
+  EXPECT_DOUBLE_EQ(MergingThreshold(2, 20), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MergingThreshold(19, 20), 0.05);
+  EXPECT_DOUBLE_EQ(MergingThreshold(20, 20), 0.0);
+  EXPECT_DOUBLE_EQ(MergingThreshold(1, 1), 0.0);
+}
+
+TEST(Driver, DeterministicForSeed) {
+  graph::Graph g = gen::Caveman(6, 12, 0.1, 2);
+  SluggerConfig config;
+  config.iterations = 8;
+  config.seed = 42;
+  SluggerResult a = Summarize(g, config);
+  SluggerResult b = Summarize(g, config);
+  EXPECT_EQ(a.stats.cost, b.stats.cost);
+  EXPECT_EQ(a.merges, b.merges);
+  config.seed = 43;
+  SluggerResult c = Summarize(g, config);
+  // Different seeds usually explore different merges (not guaranteed, but
+  // overwhelmingly likely on this graph).
+  EXPECT_TRUE(c.stats.cost != a.stats.cost || c.merges != a.merges ||
+              c.evaluations != a.evaluations);
+}
+
+TEST(Driver, MoreIterationsNeverHurtMuch) {
+  graph::Graph g = gen::Caveman(8, 16, 0.08, 5);
+  SluggerConfig c1;
+  c1.iterations = 1;
+  c1.seed = 7;
+  SluggerConfig c20 = c1;
+  c20.iterations = 20;
+  uint64_t cost1 = Summarize(g, c1).stats.cost;
+  uint64_t cost20 = Summarize(g, c20).stats.cost;
+  EXPECT_LE(cost20, cost1 + cost1 / 10);  // Table III trend
+}
+
+TEST(Driver, HeightBoundRespected) {
+  gen::PlantedHierarchyOptions opt_gen;
+  opt_gen.branching = 4;
+  opt_gen.depth = 3;
+  opt_gen.leaf_size = 6;
+  opt_gen.leaf_density = 0.95;
+  opt_gen.pair_link_prob = 0.6;
+  opt_gen.pair_link_decay = 0.4;
+  graph::Graph g = gen::PlantedHierarchy(opt_gen, 5);
+  for (uint32_t hb : {2u, 5u, 7u}) {
+    SluggerConfig config;
+    config.iterations = 10;
+    config.max_height = hb;
+    config.pruning_rounds = 0;  // pruning only lowers heights
+    SluggerResult r = Summarize(g, config);
+    EXPECT_LE(r.stats.max_height, hb) << "Hb = " << hb;
+    EXPECT_TRUE(summary::VerifyLossless(g, r.summary).ok());
+  }
+}
+
+TEST(Driver, HeightBoundTradeoff) {
+  // Table V: looser height bounds compress at least as well (statistically;
+  // we allow slack for heuristic noise).
+  gen::PlantedHierarchyOptions opt_gen;
+  opt_gen.branching = 4;
+  opt_gen.depth = 3;
+  opt_gen.leaf_size = 8;
+  opt_gen.leaf_density = 0.9;
+  opt_gen.pair_link_prob = 0.6;
+  opt_gen.pair_link_decay = 0.35;
+  graph::Graph g = gen::PlantedHierarchy(opt_gen, 11);
+  SluggerConfig tight;
+  tight.iterations = 12;
+  tight.max_height = 2;
+  SluggerConfig loose = tight;
+  loose.max_height = 0;
+  uint64_t cost_tight = Summarize(g, tight).stats.cost;
+  uint64_t cost_loose = Summarize(g, loose).stats.cost;
+  EXPECT_LE(cost_loose, cost_tight + cost_tight / 8);
+}
+
+TEST(Driver, PruningDisabledKeepsLosslessness) {
+  graph::Graph g = gen::ErdosRenyi(100, 350, 2);
+  SluggerConfig config;
+  config.iterations = 6;
+  config.pruning_rounds = 0;
+  SluggerResult r = Summarize(g, config);
+  EXPECT_TRUE(summary::VerifyLossless(g, r.summary).ok());
+}
+
+TEST(Driver, EmptyAndTinyGraphs) {
+  graph::Graph empty = graph::Graph::FromEdges(0, {});
+  SluggerResult r0 = Summarize(empty, {});
+  EXPECT_EQ(r0.stats.cost, 0u);
+
+  graph::Graph isolated = graph::Graph::FromEdges(5, {});
+  SluggerResult r1 = Summarize(isolated, {});
+  EXPECT_EQ(r1.stats.cost, 0u);
+  EXPECT_TRUE(summary::VerifyLossless(isolated, r1.summary).ok());
+
+  graph::Graph one_edge = graph::Graph::FromEdges(2, {{0, 1}});
+  SluggerResult r2 = Summarize(one_edge, {});
+  EXPECT_TRUE(summary::VerifyLossless(one_edge, r2.summary).ok());
+  EXPECT_LE(r2.stats.cost, 1u);
+}
+
+}  // namespace
+}  // namespace slugger::core

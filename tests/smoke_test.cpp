@@ -1,0 +1,67 @@
+// Early smoke tests: does the full SLUGGER pipeline stay lossless?
+#include <gtest/gtest.h>
+
+#include "core/slugger.hpp"
+#include "gen/generators.hpp"
+#include "summary/verify.hpp"
+
+namespace slugger {
+namespace {
+
+TEST(Smoke, TinyPath) {
+  // Path 0-1-2-3.
+  graph::Graph g = graph::Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  core::SluggerConfig config;
+  config.iterations = 5;
+  core::SluggerResult r = core::Summarize(g, config);
+  EXPECT_TRUE(summary::VerifyLossless(g, r.summary).ok())
+      << summary::VerifyLossless(g, r.summary).ToString();
+}
+
+TEST(Smoke, CompleteGraph) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 12; ++u) {
+    for (NodeId v = u + 1; v < 12; ++v) edges.emplace_back(u, v);
+  }
+  graph::Graph g = graph::Graph::FromEdges(12, edges);
+  core::SluggerConfig config;
+  config.iterations = 10;
+  core::SluggerResult r = core::Summarize(g, config);
+  ASSERT_TRUE(summary::VerifyLossless(g, r.summary).ok())
+      << summary::VerifyLossless(g, r.summary).ToString();
+  // A clique compresses to a handful of edges.
+  EXPECT_LT(r.stats.cost, g.num_edges());
+}
+
+TEST(Smoke, ErdosRenyiLossless) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    graph::Graph g = gen::ErdosRenyi(200, 800, seed);
+    core::SluggerConfig config;
+    config.iterations = 8;
+    config.seed = seed;
+    core::SluggerResult r = core::Summarize(g, config);
+    ASSERT_TRUE(summary::VerifyLossless(g, r.summary).ok())
+        << "seed " << seed << ": "
+        << summary::VerifyLossless(g, r.summary).ToString();
+  }
+}
+
+TEST(Smoke, PlantedHierarchyCompresses) {
+  gen::PlantedHierarchyOptions opt;
+  opt.branching = 3;
+  opt.depth = 2;
+  opt.leaf_size = 8;
+  opt.leaf_density = 0.95;
+  opt.pair_link_prob = 0.6;
+  opt.pair_link_decay = 0.3;
+  graph::Graph g = gen::PlantedHierarchy(opt, 7);
+  core::SluggerConfig config;
+  config.iterations = 15;
+  core::SluggerResult r = core::Summarize(g, config);
+  ASSERT_TRUE(summary::VerifyLossless(g, r.summary).ok())
+      << summary::VerifyLossless(g, r.summary).ToString();
+  EXPECT_LT(r.stats.RelativeSize(g.num_edges()), 0.8);
+}
+
+}  // namespace
+}  // namespace slugger
