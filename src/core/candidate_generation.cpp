@@ -1,24 +1,107 @@
 #include "core/candidate_generation.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/hashing.hpp"
 
 namespace slugger::core {
 
-uint64_t CandidateGenerator::NodeShingle(NodeId u, uint64_t hash_key) const {
-  KeyedHash h(hash_key);
-  uint64_t best = h(u);
+namespace {
+
+/// Hash key of the level-0 pass for iteration t (kept identical to the
+/// historical per-(iteration, level) key so level-0 groupings match the
+/// pre-cache implementation exactly).
+uint64_t IterationKey(uint64_t seed, uint32_t iteration, uint32_t level) {
+  return Mix64(seed ^ (iteration * 0xA5A5A5A5ull) ^ (level * 0x5151FF11ull));
+}
+
+constexpr uint64_t kShingleGrain = 2048;
+
+}  // namespace
+
+uint64_t CandidateGenerator::LeafShingleAtLevel(NodeId u,
+                                                uint64_t level_salt) const {
+  uint64_t best = Mix64(node_base_[u] ^ level_salt);
   for (NodeId v : graph_->Neighbors(u)) {
-    best = std::min(best, h(v));
+    best = std::min(best, Mix64(node_base_[v] ^ level_salt));
   }
   return best;
 }
 
-std::vector<std::vector<SupernodeId>> CandidateGenerator::Generate(
-    SluggerState& state, uint32_t iteration) {
+void CandidateGenerator::BuildIterationCache(const SluggerState& state,
+                                             uint32_t iteration,
+                                             ThreadPool* pool) {
+  const graph::Graph& g = *graph_;
   const summary::HierarchyForest& forest = state.summary().forest();
+  const std::vector<SupernodeId>& roots = state.roots();
+  const NodeId n = g.num_nodes();
+
+  node_base_.resize(n);
+  node_shingle_.resize(n);
+
+  // Pass 1: one keyed hash per node for this iteration.
+  KeyedHash hash(IterationKey(seed_, iteration, 0));
+  auto base_range = [&](uint64_t begin, uint64_t end, unsigned) {
+    for (uint64_t u = begin; u < end; ++u) {
+      node_base_[u] = hash(static_cast<NodeId>(u));
+    }
+  };
+  // Pass 2: closed-neighborhood min over the cached hashes (CSR scan).
+  auto shingle_range = [&](uint64_t begin, uint64_t end, unsigned) {
+    for (uint64_t u = begin; u < end; ++u) {
+      uint64_t best = node_base_[u];
+      for (NodeId v : g.Neighbors(static_cast<NodeId>(u))) {
+        best = std::min(best, node_base_[v]);
+      }
+      node_shingle_[u] = best;
+    }
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->ParallelFor(n, kShingleGrain, base_range);
+    pool->ParallelFor(n, kShingleGrain, shingle_range);
+  } else {
+    base_range(0, n, 0);
+    shingle_range(0, n, 0);
+  }
+
+  // Bucket leaves per root once (CSR), replacing per-level tree walks.
+  std::vector<SupernodeId> root_map = forest.ComputeRootMap();
+  root_slot_.resize(forest.capacity());
+  const uint32_t num_roots = static_cast<uint32_t>(roots.size());
+  for (uint32_t i = 0; i < num_roots; ++i) root_slot_[roots[i]] = i;
+
+  leaf_offsets_.assign(num_roots + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    ++leaf_offsets_[root_slot_[root_map[u]] + 1];
+  }
+  for (uint32_t i = 0; i < num_roots; ++i) {
+    leaf_offsets_[i + 1] += leaf_offsets_[i];
+  }
+  leaf_ids_.resize(n);
+  {
+    std::vector<uint32_t> cursor(leaf_offsets_.begin(),
+                                 leaf_offsets_.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      leaf_ids_[cursor[root_slot_[root_map[u]]]++] = u;
+    }
+  }
+
+  // Level-0 min-shingle per root: fold the node shingles of its leaves.
+  root_shingle_.assign(num_roots, ~0ull);
+  for (uint32_t i = 0; i < num_roots; ++i) {
+    uint64_t best = ~0ull;
+    for (uint32_t k = leaf_offsets_[i]; k < leaf_offsets_[i + 1]; ++k) {
+      best = std::min(best, node_shingle_[leaf_ids_[k]]);
+    }
+    root_shingle_[i] = best;
+  }
+}
+
+std::vector<std::vector<SupernodeId>> CandidateGenerator::Generate(
+    SluggerState& state, uint32_t iteration, ThreadPool* pool) {
   Rng rng(Mix64(seed_ ^ (0x9E3779B9ull * iteration)));
+  const std::vector<SupernodeId>& roots = state.roots();
 
   struct Pending {
     std::vector<SupernodeId> roots;
@@ -26,18 +109,48 @@ std::vector<std::vector<SupernodeId>> CandidateGenerator::Generate(
   };
 
   std::vector<Pending> work;
-  work.push_back({state.roots(), 0});
   std::vector<std::vector<SupernodeId>> out;
-
   std::vector<std::pair<uint64_t, SupernodeId>> keyed;
+
+  // Splits one keyed batch into emitted groups and oversized re-divisions.
+  auto split_runs = [&](uint32_t level) {
+    std::sort(keyed.begin(), keyed.end());
+    size_t i = 0;
+    while (i < keyed.size()) {
+      size_t j = i + 1;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+      size_t len = j - i;
+      if (len >= 2) {
+        std::vector<SupernodeId> sub;
+        sub.reserve(len);
+        for (size_t k = i; k < j; ++k) sub.push_back(keyed[k].second);
+        if (len <= max_group_size_) {
+          out.push_back(std::move(sub));
+        } else {
+          work.push_back({std::move(sub), level + 1});
+        }
+      }
+      i = j;
+    }
+  };
+
+  if (shingle_levels_ == 0) {
+    // Random division only (no shingle pass at all): the level check in
+    // the work loop sends the whole root set straight to random splits.
+    work.push_back({roots, 0});
+  } else {
+    // Level 0 over all roots, straight from the per-iteration cache.
+    BuildIterationCache(state, iteration, pool);
+    keyed.reserve(roots.size());
+    for (uint32_t i = 0; i < static_cast<uint32_t>(roots.size()); ++i) {
+      keyed.emplace_back(root_shingle_[i], roots[i]);
+    }
+    split_runs(0);
+  }
+
   while (!work.empty()) {
     Pending group = std::move(work.back());
     work.pop_back();
-    if (group.roots.size() <= 1) continue;
-    if (group.roots.size() <= max_group_size_ && group.level > 0) {
-      out.push_back(std::move(group.roots));
-      continue;
-    }
     if (group.level >= shingle_levels_) {
       // Random division down to the size cap.
       rng.Shuffle(group.roots);
@@ -52,36 +165,22 @@ std::vector<std::vector<SupernodeId>> CandidateGenerator::Generate(
       continue;
     }
 
-    // Shingle-divide this group with a fresh hash for (iteration, level).
-    uint64_t hash_key =
-        Mix64(seed_ ^ (iteration * 0xA5A5A5A5ull) ^ (group.level * 0x5151FF11ull));
+    // Re-divide with a fresh level hash, derived by re-mixing the cached
+    // per-node hashes — no keyed-hash pass and no tree walk.
+    uint64_t level_salt = IterationKey(seed_, iteration, group.level);
     keyed.clear();
     keyed.reserve(group.roots.size());
     for (SupernodeId r : group.roots) {
       uint64_t shingle = ~0ull;
-      forest.ForEachLeaf(r, [&](NodeId u) {
-        shingle = std::min(shingle, NodeShingle(u, hash_key));
-      });
+      uint32_t slot = root_slot_[r];
+      for (uint32_t k = leaf_offsets_[slot]; k < leaf_offsets_[slot + 1];
+           ++k) {
+        shingle =
+            std::min(shingle, LeafShingleAtLevel(leaf_ids_[k], level_salt));
+      }
       keyed.emplace_back(shingle, r);
     }
-    std::sort(keyed.begin(), keyed.end());
-    size_t i = 0;
-    while (i < keyed.size()) {
-      size_t j = i + 1;
-      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
-      size_t len = j - i;
-      if (len >= 2) {
-        std::vector<SupernodeId> sub;
-        sub.reserve(len);
-        for (size_t k = i; k < j; ++k) sub.push_back(keyed[k].second);
-        if (len <= max_group_size_) {
-          out.push_back(std::move(sub));
-        } else {
-          work.push_back({std::move(sub), group.level + 1});
-        }
-      }
-      i = j;
-    }
+    split_runs(group.level);
   }
   return out;
 }

@@ -29,6 +29,25 @@ struct SluggerConfig {
   bool prune_step1 = true;
   bool prune_step2 = true;
   bool prune_step3 = true;
+
+  /// Worker threads for the merge engine and the shingle pass. 1 runs the
+  /// original sequential path; 0 uses all hardware threads.
+  uint32_t num_threads = 1;
+
+  /// Parallel engine flavor (ignored when the effective thread count is 1,
+  /// which always runs the historical sequential path).
+  /// true: round-based evaluate-parallel / commit-serial engine whose
+  /// output is byte-identical across runs and across every thread
+  /// count >= 2 (the sequential path explores merges in a different,
+  /// equally deterministic order).
+  /// false: async work-stealing engine — groups run to completion without
+  /// barriers (commits serialized on a writer lock and revalidated), still
+  /// lossless, but the summary depends on scheduling.
+  bool deterministic = true;
+
+  /// Debug: validate state aggregates after every iteration (slow); the
+  /// verdict lands in SluggerResult::aggregates_valid.
+  bool check_aggregates = false;
 };
 
 }  // namespace slugger::core

@@ -163,8 +163,10 @@ void MergePlanner::EvaluateInto(SupernodeId a, SupernodeId b, MergePlan* plan) {
         old_within_.push_back({f, other, sign});
         return;
       }
-      // Cross edge: classify against the other endpoint's tree.
-      SupernodeId c_root = state_->FindRoot(other);
+      // Cross edge: classify against the other endpoint's tree. The
+      // compression-free root lookup keeps evaluation read-only (shared
+      // across concurrent evaluation threads).
+      SupernodeId c_root = state_->FindRootConst(other);
       if (c_root == a || c_root == b) return;  // deep in merged tree: fixed
       if (!state_->InTopBand(other, c_root)) return;  // deep on C side: fixed
       if (root_stamp_[c_root] != eval_epoch_) {

@@ -52,12 +52,18 @@ struct MergePlan {
   }
 };
 
-/// Stateful evaluator bound to the algorithm state and the global memo.
-/// Single-threaded; reuses internal scratch across evaluations.
+/// Stateful evaluator bound to the algorithm state and a memo table.
+/// Reuses internal scratch across evaluations, so one planner serves one
+/// thread. BeginScan / MayOverlap / EvaluateInto never mutate the shared
+/// state (root lookups go through SluggerState::FindRootConst), so
+/// planners on different threads may evaluate concurrently as long as no
+/// Commit is running; Commit requires exclusive access to the state.
+/// The default-constructed planner uses the process-wide memo table, which
+/// is NOT thread-safe — concurrent planners must each bring their own.
 class MergePlanner {
  public:
-  explicit MergePlanner(SluggerState* state)
-      : state_(state), memo_(&MemoTable::Global()) {}
+  explicit MergePlanner(SluggerState* state, MemoTable* memo = nullptr)
+      : state_(state), memo_(memo != nullptr ? memo : &MemoTable::Global()) {}
 
   /// Marks the adjacency of root a for fast MayOverlap tests.
   void BeginScan(SupernodeId a);

@@ -1,12 +1,20 @@
 #include "core/slugger.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <limits>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <utility>
+#include <vector>
 
 #include "core/candidate_generation.hpp"
+#include "core/memo_table.hpp"
 #include "core/merge_planner.hpp"
 #include "core/slugger_state.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace slugger::core {
@@ -16,56 +24,274 @@ double MergingThreshold(uint32_t t, uint32_t total_iterations) {
   return 1.0 / (1.0 + static_cast<double>(t));
 }
 
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// RNG seed of one candidate group: an independent deterministic stream per
+/// (run seed, iteration, group index), so the outcome never depends on
+/// which worker processes the group.
+uint64_t GroupSeed(uint64_t seed, uint32_t t, uint64_t group) {
+  return Mix64(seed ^ (t * 0x7C0FFEE5ull) ^ Mix64(group * 0x51D5EED7ull));
+}
+
+/// Per-worker evaluation context. Each worker brings its own memo table
+/// (the process-wide MemoTable is not thread-safe; private tables re-warm
+/// within a few evaluations and stay hot for the whole run) plus planner
+/// scratch and reusable plan buffers.
+struct WorkerContext {
+  explicit WorkerContext(SluggerState* state) : planner(state, &memo) {}
+  WorkerContext(const WorkerContext&) = delete;
+  WorkerContext& operator=(const WorkerContext&) = delete;
+
+  MemoTable memo;  // must outlive planner; declared first (init order)
+  MergePlanner planner;
+  MergePlan plan;
+  MergePlan best;
+};
+
+/// Algorithm 2 inner loop: scans q for the best merge partner of a.
+/// Read-only on the state (safe under concurrent evaluation). Returns the
+/// index of the winning partner in q (meaningful only if best->valid).
+size_t ScanPartners(const SluggerState& state, MergePlanner& planner,
+                    const std::vector<SupernodeId>& q, SupernodeId a,
+                    uint32_t height_bound, MergePlan* plan, MergePlan* best,
+                    uint64_t* evaluations) {
+  planner.BeginScan(a);
+  best->Reset(a, a);
+  best->saving = kNegInf;
+  size_t best_idx = q.size();
+  for (size_t i = 0; i < q.size(); ++i) {
+    SupernodeId z = q[i];
+    if (height_bound != 0 &&
+        std::max(state.Height(a), state.Height(z)) + 1 > height_bound) {
+      continue;  // Table V height-bounded variant
+    }
+    if (!planner.MayOverlap(z)) continue;  // Lemma 1: cannot pay off
+    planner.EvaluateInto(a, z, plan);
+    ++*evaluations;
+    if (plan->valid && plan->saving > best->saving) {
+      std::swap(*best, *plan);
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+/// Pops a uniformly random element of q (the Algorithm 2 pick of A).
+SupernodeId PopRandom(std::vector<SupernodeId>& q, Rng& rng) {
+  size_t a_idx = rng.Below(q.size());
+  SupernodeId a = q[a_idx];
+  q[a_idx] = q.back();
+  q.pop_back();
+  return a;
+}
+
+/// The sequential merge phase (num_threads == 1): the pre-parallelism
+/// control flow — one planner, one RNG stream shared across iterations.
+/// (Outputs can still differ from pre-shingle-cache binaries on graphs
+/// whose candidate groups overflow max_group_size, because re-division
+/// levels >= 1 derive their hashes from the per-iteration cache.)
+void RunGroupsSequential(const SluggerState& state, MergePlanner& planner,
+                         Rng& rng,
+                         std::vector<std::vector<SupernodeId>>& groups,
+                         double theta, uint32_t height_bound,
+                         SluggerResult* result) {
+  MergePlan plan;
+  MergePlan best;
+  for (std::vector<SupernodeId>& q : groups) {
+    while (q.size() > 1) {
+      SupernodeId a = PopRandom(q, rng);
+      size_t best_idx = ScanPartners(state, planner, q, a, height_bound,
+                                     &plan, &best, &result->evaluations);
+      if (best.valid && best.saving >= theta) {
+        SupernodeId m = planner.Commit(best);
+        ++result->merges;
+        q[best_idx] = m;
+      }
+    }
+  }
+}
+
+/// Round-based deterministic engine: every active group picks its merge
+/// candidate against the same frozen state in parallel (read-only), then
+/// the chosen merges commit serially in group order, re-evaluated against
+/// the live state (an earlier commit in the round may have re-encoded
+/// edges incident to this family, so the stored plan could be stale).
+/// Output is byte-identical for every thread count.
+void RunGroupsDeterministic(
+    const SluggerState& state,
+    std::vector<std::unique_ptr<WorkerContext>>& workers, ThreadPool& pool,
+    uint64_t seed, uint32_t t, std::vector<std::vector<SupernodeId>>& groups,
+    double theta, uint32_t height_bound, SluggerResult* result) {
+  struct GroupTask {
+    std::vector<SupernodeId> q;
+    Rng rng;
+    MergePlan plan;  ///< winning plan of this round's evaluate phase
+    size_t best_idx = 0;
+    bool want_commit = false;
+  };
+  std::vector<GroupTask> tasks(groups.size());
+  std::vector<uint32_t> active;
+  active.reserve(tasks.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    tasks[i].q = std::move(groups[i]);
+    tasks[i].rng.Reseed(GroupSeed(seed, t, i));
+    if (tasks[i].q.size() > 1) active.push_back(static_cast<uint32_t>(i));
+  }
+
+  std::atomic<uint64_t> evaluations{0};
+  MergePlan commit_plan;
+  while (!active.empty()) {
+    pool.Run(active.size(), [&](uint64_t task, unsigned worker) {
+      GroupTask& gt = tasks[active[task]];
+      WorkerContext& ctx = *workers[worker];
+      SupernodeId a = PopRandom(gt.q, gt.rng);
+      uint64_t local_evals = 0;
+      size_t best_idx = ScanPartners(state, ctx.planner, gt.q, a,
+                                     height_bound, &ctx.plan, &ctx.best,
+                                     &local_evals);
+      evaluations.fetch_add(local_evals, std::memory_order_relaxed);
+      gt.want_commit = ctx.best.valid && ctx.best.saving >= theta;
+      if (gt.want_commit) {
+        std::swap(gt.plan, ctx.best);
+        gt.best_idx = best_idx;
+      }
+    });
+
+    // The first commit of a round still sees exactly the frozen state its
+    // plan was evaluated against, so it applies directly; later commits
+    // re-evaluate because an earlier one may have re-encoded edges
+    // incident to this family. (The choice depends only on the commit
+    // count, so thread-count invariance is preserved.)
+    MergePlanner& committer = workers[0]->planner;
+    uint64_t committed_this_round = 0;
+    for (uint32_t idx : active) {
+      GroupTask& gt = tasks[idx];
+      if (!gt.want_commit) continue;
+      const MergePlan* to_commit = &gt.plan;
+      if (committed_this_round != 0) {
+        committer.EvaluateInto(gt.plan.a, gt.plan.b, &commit_plan);
+        ++result->evaluations;
+        if (!(commit_plan.valid && commit_plan.saving >= theta)) continue;
+        to_commit = &commit_plan;
+      }
+      SupernodeId m = committer.Commit(*to_commit);
+      ++committed_this_round;
+      ++result->merges;
+      gt.q[gt.best_idx] = m;
+    }
+
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](uint32_t idx) {
+                                  return tasks[idx].q.size() <= 1;
+                                }),
+                 active.end());
+  }
+  result->evaluations += evaluations.load(std::memory_order_relaxed);
+}
+
+/// Async work-stealing engine: workers pull whole groups and run Algorithm
+/// 2 to completion without barriers. Evaluations hold the state lock
+/// shared; commits hold it exclusively and are revalidated when another
+/// group committed since the evaluation snapshot (cross-edge re-encodings
+/// may touch a neighboring family). Lossless for every schedule, but the
+/// summary depends on commit interleaving.
+void RunGroupsAsync(SluggerState& state,
+                    std::vector<std::unique_ptr<WorkerContext>>& workers,
+                    ThreadPool& pool, uint64_t seed, uint32_t t,
+                    std::vector<std::vector<SupernodeId>>& groups,
+                    double theta, uint32_t height_bound,
+                    SluggerResult* result) {
+  std::shared_mutex state_mu;
+  std::atomic<uint64_t> commit_version{0};
+  std::atomic<uint64_t> evaluations{0};
+  std::atomic<uint64_t> merges{0};
+
+  pool.Run(groups.size(), [&](uint64_t task, unsigned worker) {
+    WorkerContext& ctx = *workers[worker];
+    std::vector<SupernodeId>& q = groups[task];
+    Rng rng(GroupSeed(seed, t, task));
+    uint64_t local_evals = 0;
+    while (q.size() > 1) {
+      SupernodeId a = PopRandom(q, rng);
+      uint64_t seen_version;
+      size_t best_idx;
+      {
+        std::shared_lock<std::shared_mutex> lock(state_mu);
+        seen_version = commit_version.load(std::memory_order_relaxed);
+        best_idx = ScanPartners(state, ctx.planner, q, a, height_bound,
+                                &ctx.plan, &ctx.best, &local_evals);
+      }
+      if (!(ctx.best.valid && ctx.best.saving >= theta)) continue;
+      std::unique_lock<std::shared_mutex> lock(state_mu);
+      const MergePlan* to_commit = &ctx.best;
+      if (commit_version.load(std::memory_order_relaxed) != seen_version) {
+        ctx.planner.EvaluateInto(ctx.best.a, ctx.best.b, &ctx.plan);
+        ++local_evals;
+        if (!(ctx.plan.valid && ctx.plan.saving >= theta)) continue;
+        to_commit = &ctx.plan;
+      }
+      SupernodeId m = ctx.planner.Commit(*to_commit);
+      commit_version.fetch_add(1, std::memory_order_relaxed);
+      merges.fetch_add(1, std::memory_order_relaxed);
+      q[best_idx] = m;
+    }
+    evaluations.fetch_add(local_evals, std::memory_order_relaxed);
+  });
+  result->evaluations += evaluations.load(std::memory_order_relaxed);
+  result->merges += merges.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
 SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
   SluggerResult result;
   WallTimer total_timer;
 
+  const unsigned threads = config.num_threads == 0
+                               ? ThreadPool::DefaultThreads()
+                               : config.num_threads;
+  result.threads_used = threads;
+
   SluggerState state(g);
-  MergePlanner planner(&state);
   CandidateGenerator generator(g, config.seed, config.max_group_size,
                                config.shingle_levels);
-  Rng rng(Mix64(config.seed ^ 0xC0FFEEull));
+
+  std::optional<ThreadPool> pool;
+  std::vector<std::unique_ptr<WorkerContext>> workers;
+  if (threads > 1) {
+    pool.emplace(threads);
+    workers.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      workers.push_back(std::make_unique<WorkerContext>(&state));
+    }
+  }
+  MergePlanner seq_planner(&state);  // sequential path: process-wide memo
+  Rng seq_rng(Mix64(config.seed ^ 0xC0FFEEull));
 
   const uint32_t hb = config.max_height;  // 0 = unbounded
 
   for (uint32_t t = 1; t <= config.iterations; ++t) {
     const double theta = MergingThreshold(t, config.iterations);
-    std::vector<std::vector<SupernodeId>> groups = generator.Generate(state, t);
+    WallTimer candidate_timer;
+    std::vector<std::vector<SupernodeId>> groups =
+        generator.Generate(state, t, pool ? &*pool : nullptr);
+    result.candidate_seconds += candidate_timer.Seconds();
 
-    MergePlan plan;
-    MergePlan best;
-    for (std::vector<SupernodeId>& q : groups) {
-      // Algorithm 2: repeatedly pick a random A, merge with the best B.
-      while (q.size() > 1) {
-        size_t a_idx = rng.Below(q.size());
-        SupernodeId a = q[a_idx];
-        q[a_idx] = q.back();
-        q.pop_back();
-
-        planner.BeginScan(a);
-        best.Reset(a, a);
-        best.saving = -std::numeric_limits<double>::infinity();
-        size_t best_idx = 0;
-        for (size_t i = 0; i < q.size(); ++i) {
-          SupernodeId z = q[i];
-          if (hb != 0 &&
-              std::max(state.Height(a), state.Height(z)) + 1 > hb) {
-            continue;  // Table V height-bounded variant
-          }
-          if (!planner.MayOverlap(z)) continue;  // Lemma 1: cannot pay off
-          planner.EvaluateInto(a, z, &plan);
-          ++result.evaluations;
-          if (plan.valid && plan.saving > best.saving) {
-            std::swap(best, plan);
-            best_idx = i;
-          }
-        }
-        if (best.valid && best.saving >= theta) {
-          SupernodeId m = planner.Commit(best);
-          ++result.merges;
-          q[best_idx] = m;  // the merged node stays in the pool
-        }
-      }
+    if (threads <= 1) {
+      RunGroupsSequential(state, seq_planner, seq_rng, groups, theta, hb,
+                          &result);
+    } else if (config.deterministic) {
+      RunGroupsDeterministic(state, workers, *pool, config.seed, t, groups,
+                             theta, hb, &result);
+    } else {
+      RunGroupsAsync(state, workers, *pool, config.seed, t, groups, theta,
+                     hb, &result);
+    }
+    if (config.check_aggregates) {
+      result.aggregates_valid =
+          result.aggregates_valid && state.ValidateAggregates();
     }
   }
   result.merge_seconds = total_timer.Seconds();

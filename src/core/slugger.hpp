@@ -28,11 +28,18 @@ struct SluggerResult {
   PruneAblation prune_ablation;     ///< Table IV instrumentation
   uint64_t merges = 0;              ///< accepted merges
   uint64_t evaluations = 0;         ///< Saving() evaluations performed
-  double merge_seconds = 0.0;
+  double merge_seconds = 0.0;       ///< candidate generation + merging
+  double candidate_seconds = 0.0;   ///< candidate generation alone
   double prune_seconds = 0.0;
+  uint32_t threads_used = 1;        ///< effective worker count
+  bool aggregates_valid = true;     ///< set by SluggerConfig::check_aggregates
 };
 
-/// Runs SLUGGER on g. Deterministic for a fixed config.
+/// Runs SLUGGER on g. Deterministic for a fixed config: num_threads <= 1
+/// runs the sequential engine (reproducible run to run), and with
+/// config.deterministic (the default) the result is additionally
+/// identical across all num_threads >= 2; with deterministic = false the
+/// parallel result depends on scheduling.
 SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config);
 
 /// Merging threshold θ(t) (paper Eq. 9).

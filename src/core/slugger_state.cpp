@@ -1,6 +1,7 @@
 #include "core/slugger_state.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace slugger::core {
 
@@ -87,18 +88,28 @@ SupernodeId SluggerState::MergeRoots(SupernodeId a, SupernodeId b) {
   uint32_t rep = dsu_.Unite(dsu_.Unite(a, b), m);
   root_of_[rep] = m;
 
-  // Fold root adjacencies of a and b into m (move the smaller map).
-  for (SupernodeId src : {a, b}) {
-    FlatCountMap& adj = root_adj_[src];
-    adj.ForEach([&](SupernodeId other, uint32_t count) {
-      if (other == a || other == b) return;  // became within(m)
-      root_adj_[other].Erase(src);
-      uint32_t& to_m = root_adj_[other].GetOrInsert(m, 0);
-      to_m += count;
-      uint32_t& from_m = root_adj_[m].GetOrInsert(other, 0);
-      from_m += count;
+  // Fold root adjacencies of a and b into m: the larger side's map is
+  // moved wholesale and becomes m's, so only the smaller side pays map
+  // inserts into m. Back-pointer rewrites (other -> a/b becoming
+  // other -> m) are unavoidable on both sides.
+  {
+    SupernodeId big = root_adj_[a].size() >= root_adj_[b].size() ? a : b;
+    SupernodeId small = big == a ? b : a;
+    FlatCountMap& m_adj = root_adj_[m];
+    m_adj = std::move(root_adj_[big]);
+    root_adj_[big].clear();  // normalize the moved-from map
+    m_adj.Erase(small);      // between(a, b) edges became within(m)
+    m_adj.ForEach([&](SupernodeId other, uint32_t count) {
+      root_adj_[other].Erase(big);
+      root_adj_[other].GetOrInsert(m, 0) += count;
     });
-    adj.clear();
+    root_adj_[small].ForEach([&](SupernodeId other, uint32_t count) {
+      if (other == big) return;  // became within(m)
+      root_adj_[other].Erase(small);
+      root_adj_[other].GetOrInsert(m, 0) += count;
+      m_adj.GetOrInsert(other, 0) += count;
+    });
+    root_adj_[small].clear();
   }
 
   // Update the root list: remove a and b, add m.

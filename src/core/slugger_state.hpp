@@ -32,9 +32,16 @@ class SluggerState {
   SummaryGraph& summary() { return summary_; }
   const SummaryGraph& summary() const { return summary_; }
 
-  /// Root supernode containing s (near-O(1) amortized).
+  /// Root supernode containing s (near-O(1) amortized). Mutates the
+  /// union-find (path compression) — never call concurrently.
   SupernodeId FindRoot(SupernodeId s) {
     return root_of_[dsu_.Find(s)];
+  }
+
+  /// Root supernode containing s without path compression. Safe to call
+  /// from concurrent evaluation threads while no merge is committing.
+  SupernodeId FindRootConst(SupernodeId s) const {
+    return root_of_[dsu_.FindConst(s)];
   }
 
   /// Current roots, in unspecified order.

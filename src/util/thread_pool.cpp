@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace slugger {
+
+unsigned ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_workers_(std::max(1u, num_threads)) {
+  threads_.reserve(num_workers_ - 1);
+  for (unsigned w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::DrainTasks(unsigned worker) {
+  const TaskFn& fn = *job_;
+  const uint64_t end = job_num_tasks_;
+  while (true) {
+    uint64_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= end) break;
+    fn(task, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    DrainTasks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --helpers_active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::Run(uint64_t num_tasks, const TaskFn& fn) {
+  if (num_tasks == 0) return;
+  if (num_workers_ == 1 || num_tasks == 1) {
+    for (uint64_t task = 0; task < num_tasks; ++task) fn(task, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    helpers_active_ = num_workers_ - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  DrainTasks(/*worker=*/0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return helpers_active_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t n, uint64_t grain,
+    const std::function<void(uint64_t, uint64_t, unsigned)>& fn) {
+  if (n == 0) return;
+  grain = std::max<uint64_t>(1, grain);
+  uint64_t num_chunks = (n + grain - 1) / grain;
+  Run(num_chunks, [&](uint64_t chunk, unsigned worker) {
+    uint64_t begin = chunk * grain;
+    uint64_t end = std::min(n, begin + grain);
+    fn(begin, end, worker);
+  });
+}
+
+}  // namespace slugger

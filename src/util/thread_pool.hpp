@@ -1,0 +1,78 @@
+// Fixed-size worker pool with a work-stealing task counter.
+//
+// The pool owns size()-1 persistent threads; the caller of Run() acts as
+// worker 0, so a pool of size 1 never spawns a thread and executes jobs
+// inline. Tasks of one job are claimed dynamically from a shared atomic
+// counter (one task at a time), which load-balances uneven task costs —
+// exactly what SLUGGER's skewed candidate-group sizes need. Run() blocks
+// until every task of the job has finished, so job boundaries are
+// synchronization barriers (all writes made by tasks happen-before Run()
+// returning).
+//
+// Tasks must not throw and must not call Run()/ParallelFor() recursively
+// on the same pool.
+#ifndef SLUGGER_UTIL_THREAD_POOL_HPP_
+#define SLUGGER_UTIL_THREAD_POOL_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slugger {
+
+class ThreadPool {
+ public:
+  /// A job maps each task index in [0, num_tasks) to one invocation of
+  /// fn(task_index, worker_index), with worker_index < size().
+  using TaskFn = std::function<void(uint64_t task, unsigned worker)>;
+
+  /// Worker count to use when the user asks for "0 = auto".
+  static unsigned DefaultThreads();
+
+  /// Creates a pool of `num_threads` workers total (min 1). The calling
+  /// thread is worker 0; num_threads - 1 threads are spawned.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return num_workers_; }
+
+  /// Runs fn over all task indices in [0, num_tasks), stealing tasks from
+  /// a shared counter; returns when every task has completed.
+  void Run(uint64_t num_tasks, const TaskFn& fn);
+
+  /// Splits [0, n) into chunks of at most `grain` and runs
+  /// fn(begin, end, worker) over them via Run().
+  void ParallelFor(uint64_t n, uint64_t grain,
+                   const std::function<void(uint64_t begin, uint64_t end,
+                                            unsigned worker)>& fn);
+
+ private:
+  void WorkerLoop(unsigned worker);
+  void DrainTasks(unsigned worker);
+
+  unsigned num_workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new job epoch
+  std::condition_variable done_cv_;   // signals helpers finished the job
+  uint64_t epoch_ = 0;                // bumped per job (guarded by mu_)
+  unsigned helpers_active_ = 0;       // spawned workers still in the job
+  bool stop_ = false;
+
+  // Current job; valid while helpers_active_ > 0 or worker 0 is draining.
+  const TaskFn* job_ = nullptr;
+  uint64_t job_num_tasks_ = 0;
+  std::atomic<uint64_t> next_task_{0};
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_THREAD_POOL_HPP_

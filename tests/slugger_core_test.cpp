@@ -167,6 +167,25 @@ TEST(CandidateGeneration, SimilarNeighborhoodsShareGroups) {
   EXPECT_TRUE(together);
 }
 
+TEST(CandidateGeneration, ZeroShingleLevelsRandomlyGroupsAllRoots) {
+  // shingle_levels = 0 means "random division only": every root lands in
+  // a group (except at most one leftover), with no shingle filtering.
+  graph::Graph g = gen::ErdosRenyi(300, 900, 8);
+  SluggerState state(g);
+  CandidateGenerator generator(g, 1, /*max_group_size=*/32,
+                               /*shingle_levels=*/0);
+  auto groups = generator.Generate(state, 1);
+  std::set<SupernodeId> seen;
+  for (const auto& group : groups) {
+    EXPECT_GE(group.size(), 2u);
+    EXPECT_LE(group.size(), 32u);
+    for (SupernodeId r : group) {
+      EXPECT_TRUE(seen.insert(r).second) << "root in two groups";
+    }
+  }
+  EXPECT_GE(seen.size() + 1, state.roots().size());
+}
+
 TEST(CandidateGeneration, VariesAcrossIterations) {
   graph::Graph g = gen::ErdosRenyi(300, 900, 8);
   SluggerState state(g);
