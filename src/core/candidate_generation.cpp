@@ -18,6 +18,13 @@ uint64_t IterationKey(uint64_t seed, uint32_t iteration, uint32_t level) {
 
 constexpr uint64_t kShingleGrain = 2048;
 
+/// Re-division groups below this size are re-keyed inline; larger ones go
+/// to the pool (the output is identical either way — each root's shingle
+/// lands at its index). Oversized groups exceed max_group_size (500 by
+/// default), so in practice every re-division qualifies.
+constexpr size_t kParallelRedivideMin = 256;
+constexpr uint64_t kRedivideGrain = 16;
+
 }  // namespace
 
 uint64_t CandidateGenerator::LeafShingleAtLevel(NodeId u,
@@ -166,19 +173,28 @@ std::vector<std::vector<SupernodeId>> CandidateGenerator::Generate(
     }
 
     // Re-divide with a fresh level hash, derived by re-mixing the cached
-    // per-node hashes — no keyed-hash pass and no tree walk.
+    // per-node hashes — no keyed-hash pass and no tree walk. Each root's
+    // shingle is independent, so deep levels fan out on the pool too.
     uint64_t level_salt = IterationKey(seed_, iteration, group.level);
-    keyed.clear();
-    keyed.reserve(group.roots.size());
-    for (SupernodeId r : group.roots) {
-      uint64_t shingle = ~0ull;
-      uint32_t slot = root_slot_[r];
-      for (uint32_t k = leaf_offsets_[slot]; k < leaf_offsets_[slot + 1];
-           ++k) {
-        shingle =
-            std::min(shingle, LeafShingleAtLevel(leaf_ids_[k], level_salt));
+    keyed.assign(group.roots.size(), {0, 0});
+    auto key_range = [&](uint64_t begin, uint64_t end, unsigned) {
+      for (uint64_t i = begin; i < end; ++i) {
+        SupernodeId r = group.roots[i];
+        uint64_t shingle = ~0ull;
+        uint32_t slot = root_slot_[r];
+        for (uint32_t k = leaf_offsets_[slot]; k < leaf_offsets_[slot + 1];
+             ++k) {
+          shingle =
+              std::min(shingle, LeafShingleAtLevel(leaf_ids_[k], level_salt));
+        }
+        keyed[i] = {shingle, r};
       }
-      keyed.emplace_back(shingle, r);
+    };
+    if (pool != nullptr && pool->size() > 1 &&
+        group.roots.size() >= kParallelRedivideMin) {
+      pool->ParallelFor(group.roots.size(), kRedivideGrain, key_range);
+    } else {
+      key_range(0, group.roots.size(), 0);
     }
     split_runs(group.level);
   }

@@ -38,8 +38,9 @@ class CandidateGenerator {
 
   /// Divides the current roots into candidate sets for iteration t.
   /// Groups of size 1 are omitted (nothing to merge). When `pool` is
-  /// non-null the top-level shingle pass runs on it; the output is
-  /// identical for every pool size (including none).
+  /// non-null the top-level shingle pass and the deeper re-division
+  /// levels run on it; the output is identical for every pool size
+  /// (including none).
   std::vector<std::vector<SupernodeId>> Generate(SluggerState& state,
                                                  uint32_t iteration,
                                                  ThreadPool* pool = nullptr);

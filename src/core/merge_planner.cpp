@@ -44,8 +44,7 @@ uint8_t CSideUnitMask(int c_pos, bool c_internal) {
 }  // namespace
 
 void MergePlanner::BeginScan(SupernodeId a) {
-  size_t cap = state_->summary().forest().capacity();
-  if (mark_epoch_.size() < cap) mark_epoch_.resize(cap + cap / 2 + 16, 0);
+  assert(mark_epoch_.size() >= state_->summary().forest().capacity());
   ++epoch_;
   scan_root_ = a;
   scan_adj_.clear();
@@ -135,13 +134,8 @@ void MergePlanner::EvaluateInto(SupernodeId a, SupernodeId b, MergePlan* plan) {
 
   // Pass 1: visit incident edges once, splitting into within-family edges
   // and cross edges tallied per adjacent root (epoch-stamped counters).
-  {
-    size_t cap = forest.capacity();
-    if (root_stamp_.size() < cap) {
-      root_stamp_.resize(cap + cap / 2 + 16, 0);
-      root_count_.resize(root_stamp_.size(), 0);
-    }
-  }
+  // Scratch was sized to the id bound at construction, so no capacity
+  // check (and no capacity read) happens on this concurrent-safe path.
   ++eval_epoch_;
 
   for (int f_local = kA; f_local <= kB2; ++f_local) {

@@ -63,7 +63,16 @@ struct MergePlan {
 class MergePlanner {
  public:
   explicit MergePlanner(SluggerState* state, MemoTable* memo = nullptr)
-      : state_(state), memo_(memo != nullptr ? memo : &MemoTable::Global()) {}
+      : state_(state), memo_(memo != nullptr ? memo : &MemoTable::Global()) {
+    // Scratch is sized once to the state's id bound instead of lazily to
+    // the forest's current capacity: a planner re-evaluating inside the
+    // async engine's commit room must not read the capacity (another
+    // committer may be appending under the growth lock).
+    size_t bound = state_->max_supernodes();
+    mark_epoch_.assign(bound, 0);
+    root_stamp_.assign(bound, 0);
+    root_count_.assign(bound, 0);
+  }
 
   /// Marks the adjacency of root a for fast MayOverlap tests.
   void BeginScan(SupernodeId a);

@@ -1,5 +1,6 @@
 #include "core/pruning.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 #include <unordered_set>
@@ -27,6 +28,59 @@ uint64_t PruneStep1(SummaryGraph* summary) {
   return removed;
 }
 
+/// Whether root `a` qualifies for substep 2 against the current state; on
+/// success fills its single neighbor `b` and the edge sign. Read-only —
+/// shared by the sequential path, the parallel evaluate phase, and the
+/// serial revalidation before an apply.
+bool EvaluateStep2(const SummaryGraph& summary, SupernodeId a, SupernodeId* b,
+                   EdgeSign* sign) {
+  const HierarchyForest& forest = summary.forest();
+  if (!forest.IsAlive(a) || !forest.IsRoot(a) || forest.IsLeaf(a)) {
+    return false;
+  }
+  if (summary.EdgeCountOf(a) != 1) return false;
+
+  *b = kInvalidId;
+  *sign = 0;
+  summary.ForEachEdgeOf(a, [&](SupernodeId other, EdgeSign s) {
+    *b = other;
+    *sign = s;
+  });
+  if (*b == a) return false;  // a lone self-loop cannot be pushed down
+
+  // A same-sign (child, b) edge would leave a coverage deficit after the
+  // rewrite; it cannot arise from SLUGGER's own encodings, but skip the
+  // root defensively rather than corrupt the summary.
+  for (SupernodeId c : forest.Children(a)) {
+    if (summary.GetSign(c, *b) == *sign) return false;
+  }
+  return true;
+}
+
+/// Applies one substep-2 dissolution (paper Algorithm 3, lines 17-23):
+/// replaces (a, b) by one edge per child of a, cancelling against existing
+/// opposite-sign (child, b) edges, then splices a out.
+template <typename OnTouched>
+void ApplyStep2(SummaryGraph* summary, SupernodeId a, SupernodeId b,
+                EdgeSign sign, OnTouched&& on_touched) {
+  const HierarchyForest& forest = summary->forest();
+  summary->RemoveEdge(a, b);
+  // Children of a partition a exactly, so replacing (a, b) by one edge
+  // per child preserves coverage; an existing opposite-sign (child, b)
+  // cancels instead.
+  for (SupernodeId c : forest.Children(a)) {
+    EdgeSign existing = summary->GetSign(c, b);
+    if (existing == -sign) {
+      summary->RemoveEdge(c, b);
+    } else {
+      summary->AddEdge(c, b, sign);
+    }
+    on_touched(c);  // children become roots; may now qualify
+  }
+  on_touched(b);  // b's incident-edge set changed; may (dis)qualify
+  summary->SpliceOut(a);
+}
+
 /// Substep 2: dissolve non-leaf roots with exactly one incident non-loop
 /// edge, pushing the edge down to every child with sign cancellation.
 uint64_t PruneStep2(SummaryGraph* summary) {
@@ -36,46 +90,38 @@ uint64_t PruneStep2(SummaryGraph* summary) {
   while (!queue.empty()) {
     SupernodeId a = queue.back();
     queue.pop_back();
-    if (!forest.IsAlive(a) || !forest.IsRoot(a) || forest.IsLeaf(a)) continue;
-    if (summary->EdgeCountOf(a) != 1) continue;
-
-    SupernodeId b = kInvalidId;
-    EdgeSign sign = 0;
-    summary->ForEachEdgeOf(a, [&](SupernodeId other, EdgeSign s) {
-      b = other;
-      sign = s;
-    });
-    if (b == a) continue;  // a lone self-loop cannot be pushed down
-
-    // A same-sign (child, b) edge would leave a coverage deficit after the
-    // rewrite; it cannot arise from SLUGGER's own encodings, but skip the
-    // root defensively rather than corrupt the summary.
-    bool rewritable = true;
-    for (SupernodeId c : forest.Children(a)) {
-      if (summary->GetSign(c, b) == sign) {
-        rewritable = false;
-        break;
-      }
-    }
-    if (!rewritable) continue;
-
-    summary->RemoveEdge(a, b);
-    // Children of a partition a exactly, so replacing (a, b) by one edge
-    // per child preserves coverage; an existing opposite-sign (child, b)
-    // cancels instead (paper Algorithm 3, lines 17-23).
-    for (SupernodeId c : forest.Children(a)) {
-      EdgeSign existing = summary->GetSign(c, b);
-      if (existing == -sign) {
-        summary->RemoveEdge(c, b);
-      } else {
-        summary->AddEdge(c, b, sign);
-      }
-      queue.push_back(c);  // children become roots; may now qualify
-    }
-    summary->SpliceOut(a);
+    SupernodeId b;
+    EdgeSign sign;
+    if (!EvaluateStep2(*summary, a, &b, &sign)) continue;
+    ApplyStep2(summary, a, b, sign,
+               [&](SupernodeId touched) { queue.push_back(touched); });
     ++removed;
   }
   return removed;
+}
+
+/// Substep 3's cost decision: which root pairs does the flat model encode
+/// strictly cheaper than their current superedge count, and how.
+/// marked[key] = true: use corrections-only; false: superedge + n-edges.
+/// Shared by the sequential and parallel substeps so their outputs can
+/// never diverge.
+std::unordered_map<uint64_t, bool> DecideMarkedPairs(
+    const HierarchyForest& forest,
+    const std::unordered_map<uint64_t, uint32_t>& current,
+    const std::unordered_map<uint64_t, uint64_t>& subedges) {
+  std::unordered_map<uint64_t, bool> marked;
+  for (const auto& [key, count] : current) {
+    SupernodeId ra = PairFirst(key);
+    SupernodeId rb = PairSecond(key);
+    auto it = subedges.find(key);
+    uint64_t e_ab = it == subedges.end() ? 0 : it->second;
+    uint64_t sa = forest.Size(ra);
+    uint64_t t_ab = ra == rb ? sa * (sa - 1) / 2 : sa * forest.Size(rb);
+    uint64_t with_super = 1 + (t_ab - e_ab);
+    uint64_t flat = std::min(e_ab, with_super);
+    if (flat < count) marked[key] = e_ab <= with_super;
+  }
+  return marked;
 }
 
 /// Substep 3: per adjacent root pair (including self pairs), switch to the
@@ -96,20 +142,8 @@ uint64_t PruneStep3(SummaryGraph* summary, const graph::Graph& g) {
     ++subedges[PairKey(root_map[e.first], root_map[e.second])];
   }
 
-  // Decide which pairs the flat model encodes strictly cheaper.
-  // marked[key] = true: use corrections-only; false: superedge + n-edges.
-  std::unordered_map<uint64_t, bool> marked;
-  for (const auto& [key, count] : current) {
-    SupernodeId ra = PairFirst(key);
-    SupernodeId rb = PairSecond(key);
-    auto it = subedges.find(key);
-    uint64_t e_ab = it == subedges.end() ? 0 : it->second;
-    uint64_t sa = forest.Size(ra);
-    uint64_t t_ab = ra == rb ? sa * (sa - 1) / 2 : sa * forest.Size(rb);
-    uint64_t with_super = 1 + (t_ab - e_ab);
-    uint64_t flat = std::min(e_ab, with_super);
-    if (flat < count) marked[key] = e_ab <= with_super;
-  }
+  std::unordered_map<uint64_t, bool> marked =
+      DecideMarkedPairs(forest, current, subedges);
   if (marked.empty()) return 0;
 
   // Remove every superedge of a marked pair.
@@ -159,20 +193,268 @@ uint64_t PruneStep3(SummaryGraph* summary, const graph::Graph& g) {
   return marked.size();
 }
 
+// --------------------------------------------------------------------------
+// Parallel substeps: evaluate against a frozen state on the pool, apply
+// serially in a fixed order. Thread-count invariant by construction (the
+// apply order never depends on which worker evaluated what).
+// --------------------------------------------------------------------------
+
+/// Substep 1, parallel scan. The predicate of one candidate is unaffected
+/// by splicing another (edge counts and leaf-ness never change), so the
+/// frozen-state scan finds exactly the sequential sweep's set; applying in
+/// descending id order reproduces the sequential result bit for bit.
+uint64_t PruneStep1Parallel(SummaryGraph* summary, ThreadPool* pool) {
+  const HierarchyForest& forest = summary->forest();
+  const unsigned workers = pool->size();
+  std::vector<std::vector<SupernodeId>> found(workers);
+  constexpr uint64_t kGrain = 4096;
+  pool->ParallelFor(forest.capacity(), kGrain,
+                    [&](uint64_t begin, uint64_t end, unsigned w) {
+                      for (uint64_t i = begin; i < end; ++i) {
+                        SupernodeId s = static_cast<SupernodeId>(i);
+                        if (!forest.IsAlive(s) || forest.IsLeaf(s)) continue;
+                        if (summary->EdgeCountOf(s) != 0) continue;
+                        found[w].push_back(s);
+                      }
+                    });
+  std::vector<SupernodeId> all;
+  for (const auto& f : found) all.insert(all.end(), f.begin(), f.end());
+  std::sort(all.begin(), all.end(), std::greater<SupernodeId>());
+  for (SupernodeId s : all) summary->SpliceOut(s);
+  return all.size();
+}
+
+/// Substep 2, round-based: every frontier root is evaluated in parallel
+/// against the same frozen state, then the qualifying dissolutions apply
+/// serially in ascending id order. An apply may invalidate a later
+/// candidate of the same round (it rewrites edges incident to b and to the
+/// children), so a candidate whose recorded nodes were touched this round
+/// is re-evaluated before applying. Touched nodes and fresh roots seed the
+/// next frontier.
+uint64_t PruneStep2Parallel(SummaryGraph* summary, ThreadPool* pool) {
+  const HierarchyForest& forest = summary->forest();
+  struct Candidate {
+    SupernodeId b = kInvalidId;
+    EdgeSign sign = 0;
+    bool ok = false;
+  };
+  uint64_t removed = 0;
+  std::vector<SupernodeId> frontier = forest.CollectRoots();
+  std::sort(frontier.begin(), frontier.end());
+  // 0 = untouched this round; applies stamp the nodes they rewrite.
+  std::vector<uint8_t> touched(forest.capacity(), 0);
+  std::vector<Candidate> cands;
+  std::vector<SupernodeId> next;
+  constexpr uint64_t kGrain = 32;
+  while (!frontier.empty()) {
+    cands.assign(frontier.size(), Candidate{});
+    pool->ParallelFor(frontier.size(), kGrain,
+                      [&](uint64_t begin, uint64_t end, unsigned) {
+                        for (uint64_t i = begin; i < end; ++i) {
+                          Candidate& c = cands[i];
+                          c.ok = EvaluateStep2(*summary, frontier[i], &c.b,
+                                               &c.sign);
+                        }
+                      });
+    next.clear();
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      if (!cands[i].ok) continue;
+      SupernodeId a = frontier[i];
+      SupernodeId b = cands[i].b;
+      EdgeSign sign = cands[i].sign;
+      // `a`'s own edge set only changes when a is stamped (a root is never
+      // another dissolution's child); a stale partner or stale child signs
+      // require stamps on a or b.
+      if (touched[a] || touched[b]) {
+        if (!EvaluateStep2(*summary, a, &b, &sign)) continue;
+      }
+      ApplyStep2(summary, a, b, sign, [&](SupernodeId t) {
+        touched[t] = 1;
+        next.push_back(t);
+      });
+      // Stamp the dissolved root too: a later candidate of this round may
+      // have recorded it as its partner, whose edges just vanished.
+      touched[a] = 1;
+      next.push_back(a);
+      ++removed;
+    }
+    for (SupernodeId t : next) touched[t] = 0;
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier.swap(next);
+  }
+  return removed;
+}
+
+/// Substep 3, parallel: the pair tallies, the marked-pair decisions, the
+/// removal sweep, and the expensive leaf-level correction products are all
+/// computed on the pool against the frozen state; edits apply serially.
+/// The final edge set is exactly the sequential substep's.
+uint64_t PruneStep3Parallel(SummaryGraph* summary, const graph::Graph& g,
+                            ThreadPool* pool) {
+  const HierarchyForest& forest = summary->forest();
+  const std::vector<SupernodeId> root_map = forest.ComputeRootMap();
+  const SupernodeId cap = forest.capacity();
+  const unsigned workers = pool->size();
+  constexpr uint64_t kNodeGrain = 2048;
+  constexpr uint64_t kEdgeGrain = 8192;
+
+  // Current superedge count per root pair.
+  std::vector<std::unordered_map<uint64_t, uint32_t>> cur_local(workers);
+  pool->ParallelFor(cap, kNodeGrain,
+                    [&](uint64_t begin, uint64_t end, unsigned w) {
+                      auto& local = cur_local[w];
+                      for (uint64_t i = begin; i < end; ++i) {
+                        SupernodeId x = static_cast<SupernodeId>(i);
+                        summary->ForEachEdgeOf(
+                            x, [&](SupernodeId y, EdgeSign) {
+                              if (x > y) return;  // each superedge once
+                              ++local[PairKey(root_map[x], root_map[y])];
+                            });
+                      }
+                    });
+  std::unordered_map<uint64_t, uint32_t> current;
+  for (auto& local : cur_local) {
+    for (const auto& [key, count] : local) current[key] += count;
+  }
+
+  // Subedge count per root pair, restricted to pairs that have superedges
+  // (only those can be marked; `current` is read-only here).
+  std::vector<std::unordered_map<uint64_t, uint64_t>> sub_local(workers);
+  const auto& graph_edges = g.Edges();
+  pool->ParallelFor(graph_edges.size(), kEdgeGrain,
+                    [&](uint64_t begin, uint64_t end, unsigned w) {
+                      auto& local = sub_local[w];
+                      for (uint64_t i = begin; i < end; ++i) {
+                        const Edge& e = graph_edges[i];
+                        uint64_t key =
+                            PairKey(root_map[e.first], root_map[e.second]);
+                        if (current.count(key)) ++local[key];
+                      }
+                    });
+  std::unordered_map<uint64_t, uint64_t> subedges;
+  for (auto& local : sub_local) {
+    for (const auto& [key, count] : local) subedges[key] += count;
+  }
+
+  // Decide marked pairs (cheap arithmetic; serial). Kept in sorted order
+  // so the apply sequence below is reproducible.
+  std::unordered_map<uint64_t, bool> marked =
+      DecideMarkedPairs(forest, current, subedges);
+  if (marked.empty()) return 0;
+  std::vector<std::pair<uint64_t, bool>> marked_list(marked.begin(),
+                                                     marked.end());
+  std::sort(marked_list.begin(), marked_list.end());
+
+  // Collect and apply the removals of every marked pair's superedges.
+  std::vector<std::vector<std::pair<SupernodeId, SupernodeId>>> rem_local(
+      workers);
+  pool->ParallelFor(cap, kNodeGrain,
+                    [&](uint64_t begin, uint64_t end, unsigned w) {
+                      auto& local = rem_local[w];
+                      for (uint64_t i = begin; i < end; ++i) {
+                        SupernodeId x = static_cast<SupernodeId>(i);
+                        summary->ForEachEdgeOf(
+                            x, [&](SupernodeId y, EdgeSign) {
+                              if (x > y) return;
+                              if (marked.count(
+                                      PairKey(root_map[x], root_map[y]))) {
+                                local.emplace_back(x, y);
+                              }
+                            });
+                      }
+                    });
+  for (const auto& local : rem_local) {
+    for (const auto& [x, y] : local) summary->RemoveEdge(x, y);
+  }
+
+  // Build each superedge-encoded pair's correction edges in parallel (the
+  // leaf cross products dominate substep 3), then apply serially.
+  struct Scratch {
+    std::vector<NodeId> leaves_a;
+    std::vector<NodeId> leaves_b;
+    std::vector<SupernodeId> stack;
+  };
+  std::vector<Scratch> scratch(workers);
+  std::vector<std::vector<Edge>> n_edges(marked_list.size());
+  pool->Run(marked_list.size(), [&](uint64_t idx, unsigned w) {
+    const auto& [key, corrections_only] = marked_list[idx];
+    if (corrections_only) return;  // p-edges collected in the sweep below
+    Scratch& sc = scratch[w];
+    SupernodeId ra = PairFirst(key);
+    SupernodeId rb = PairSecond(key);
+    std::vector<Edge>& out = n_edges[idx];
+    summary->CollectLeaves(ra, &sc.leaves_a, &sc.stack);
+    if (ra == rb) {
+      for (size_t i = 0; i < sc.leaves_a.size(); ++i) {
+        for (size_t j = i + 1; j < sc.leaves_a.size(); ++j) {
+          if (!g.HasEdge(sc.leaves_a[i], sc.leaves_a[j])) {
+            out.emplace_back(sc.leaves_a[i], sc.leaves_a[j]);
+          }
+        }
+      }
+    } else {
+      summary->CollectLeaves(rb, &sc.leaves_b, &sc.stack);
+      for (NodeId u : sc.leaves_a) {
+        for (NodeId v : sc.leaves_b) {
+          if (!g.HasEdge(u, v)) out.emplace_back(u, v);
+        }
+      }
+    }
+  });
+
+  // Correction p-edges for pairs encoded without a superedge.
+  std::vector<std::vector<Edge>> p_local(workers);
+  pool->ParallelFor(graph_edges.size(), kEdgeGrain,
+                    [&](uint64_t begin, uint64_t end, unsigned w) {
+                      auto& local = p_local[w];
+                      for (uint64_t i = begin; i < end; ++i) {
+                        const Edge& e = graph_edges[i];
+                        auto it = marked.find(
+                            PairKey(root_map[e.first], root_map[e.second]));
+                        if (it != marked.end() && it->second) {
+                          local.push_back(e);
+                        }
+                      }
+                    });
+
+  // Serial apply: superedges + their n-edge corrections, then p-edges.
+  for (size_t idx = 0; idx < marked_list.size(); ++idx) {
+    const auto& [key, corrections_only] = marked_list[idx];
+    if (corrections_only) continue;
+    summary->AddEdge(PairFirst(key), PairSecond(key), +1);
+    for (const Edge& e : n_edges[idx]) summary->AddEdge(e.first, e.second, -1);
+  }
+  for (const auto& local : p_local) {
+    for (const Edge& e : local) summary->AddEdge(e.first, e.second, +1);
+  }
+  return marked_list.size();
+}
+
 }  // namespace
 
 PruneAblation PruneSummary(summary::SummaryGraph* summary,
                            const graph::Graph& g,
                            const PruneOptions& options) {
+  // Note: a pool of size 1 still runs the parallel algorithms (inline), so
+  // the pruned summary is identical for every pool size.
+  ThreadPool* pool = options.pool;
   PruneAblation ablation;
   ablation.stage[0] = summary::ComputeStats(*summary);
   for (uint32_t round = 0; round < options.rounds; ++round) {
     uint64_t changes = 0;
-    if (options.enable_step1) changes += PruneStep1(summary);
+    if (options.enable_step1) {
+      changes += pool ? PruneStep1Parallel(summary, pool) : PruneStep1(summary);
+    }
     if (round == 0) ablation.stage[1] = summary::ComputeStats(*summary);
-    if (options.enable_step2) changes += PruneStep2(summary);
+    if (options.enable_step2) {
+      changes += pool ? PruneStep2Parallel(summary, pool) : PruneStep2(summary);
+    }
     if (round == 0) ablation.stage[2] = summary::ComputeStats(*summary);
-    if (options.enable_step3) changes += PruneStep3(summary, g);
+    if (options.enable_step3) {
+      changes +=
+          pool ? PruneStep3Parallel(summary, g, pool) : PruneStep3(summary, g);
+    }
     if (round == 0) ablation.stage[3] = summary::ComputeStats(*summary);
     if (changes == 0) break;
   }

@@ -8,12 +8,22 @@
 //      (superedge + leaf-level corrections) when it is strictly cheaper.
 // Every substep preserves the net signed coverage of every subnode pair,
 // so the summary keeps representing the same graph.
+//
+// With a non-null PruneOptions::pool the substeps run in the merge
+// engine's evaluate-parallel / apply-serial style: candidates and edge
+// rewrites are computed in parallel against a frozen state, then applied
+// serially in a fixed order with revalidation. The parallel path is
+// deterministic and thread-count invariant (a pool of size 1 produces the
+// same summary as a pool of size 8); substeps 1 and 3 produce exactly the
+// sequential result, substep 2 dissolves roots in sorted-id rounds instead
+// of the sequential path's stack order (equally lossless).
 #ifndef SLUGGER_CORE_PRUNING_HPP_
 #define SLUGGER_CORE_PRUNING_HPP_
 
 #include "graph/graph.hpp"
 #include "summary/stats.hpp"
 #include "summary/summary_graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace slugger::core {
 
@@ -22,6 +32,9 @@ struct PruneOptions {
   bool enable_step1 = true;
   bool enable_step2 = true;
   bool enable_step3 = true;
+  /// Non-null: run the parallel pruning path on this pool (any size).
+  /// Null: the historical sequential path.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-substep snapshots of the first round, for the Table IV ablation.

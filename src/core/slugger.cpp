@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "core/merge_planner.hpp"
 #include "core/slugger_state.hpp"
 #include "util/random.hpp"
+#include "util/sharded_lock.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -191,20 +193,105 @@ void RunGroupsDeterministic(
   result->evaluations += evaluations.load(std::memory_order_relaxed);
 }
 
+// Room indices of the async engine's group lock.
+constexpr unsigned kEvalRoom = 0;
+constexpr unsigned kCommitRoom = 1;
+
+/// Shared synchronization of one async merge phase. Evaluations (read-only
+/// scans) occupy the eval room; commits occupy the commit room, where each
+/// one locks the hash shards of its write neighborhood — {a, b} and every
+/// root adjacent to either — so commits on disjoint neighborhoods apply
+/// concurrently. The growth mutex serializes only the O(1) structural part
+/// of a merge (id allocation, array appends, union-find, root list).
+struct AsyncShared {
+  explicit AsyncShared(uint32_t shard_count) : locks(shard_count) {}
+  TwoGroupLock rooms;
+  ShardedLockTable locks;
+  std::mutex growth_mu;
+  std::atomic<uint64_t> commit_version{0};
+};
+
+/// Acquires the shard locks covering {a, b} ∪ adj(a) ∪ adj(b) into `held`
+/// (sorted unique, ascending — the acquisition order that rules out
+/// deadlock). The neighborhood can change between computing the set and
+/// locking it, so after acquisition the set is recomputed and, if it
+/// escaped the held set, everything is released and retried with the
+/// union. Monotone growth of `held` (bounded by the shard count)
+/// guarantees termination. Must be called inside the commit room.
+void LockCommitNeighborhood(const SluggerState& state, ShardedLockTable& locks,
+                            SupernodeId a, SupernodeId b,
+                            std::vector<uint32_t>* held,
+                            std::vector<uint32_t>* want,
+                            std::vector<uint32_t>* merged) {
+  held->clear();
+  held->push_back(locks.ShardOf(a));
+  held->push_back(locks.ShardOf(b));
+  ShardedLockTable::Normalize(held);
+  while (true) {
+    locks.Lock(*held);
+    // Reading root_adj_ of a root requires its shard, which the first
+    // iteration already holds for both a and b.
+    want->clear();
+    want->push_back(locks.ShardOf(a));
+    want->push_back(locks.ShardOf(b));
+    state.RootAdjacency(a).ForEach([&](SupernodeId c, uint32_t) {
+      want->push_back(locks.ShardOf(c));
+    });
+    state.RootAdjacency(b).ForEach([&](SupernodeId c, uint32_t) {
+      want->push_back(locks.ShardOf(c));
+    });
+    ShardedLockTable::Normalize(want);
+    if (std::includes(held->begin(), held->end(), want->begin(),
+                      want->end())) {
+      return;  // held ⊇ current neighborhood; extra shards are harmless
+    }
+    locks.Unlock(*held);
+    merged->clear();
+    std::set_union(held->begin(), held->end(), want->begin(), want->end(),
+                   std::back_inserter(*merged));
+    held->swap(*merged);
+  }
+}
+
+/// Applies a validated plan under the caller's shard locks: edge rewrites
+/// go through the compression-free concurrent state ops, and only the
+/// structural merge takes the growth mutex. Returns the merged supernode.
+SupernodeId CommitSharded(SluggerState& state, AsyncShared& shared,
+                          const MergePlan& plan) {
+  for (const auto& [x, y] : plan.removes) {
+    EdgeSign sign = state.RemoveEdgeConcurrent(x, y);
+    assert(sign != 0 && "plan is stale: edge to remove is absent");
+    (void)sign;
+  }
+  SupernodeId m;
+  {
+    std::lock_guard<std::mutex> growth(shared.growth_mu);
+    m = state.MergeRootsStructural(plan.a, plan.b);
+  }
+  // The fold touches root_adj_ of {a, b, m} and of their neighbors only —
+  // all inside the held shard set — so disjoint folds run concurrently.
+  state.FoldRootAdjacency(plan.a, plan.b, m);
+  for (const auto& e : plan.adds) {
+    SupernodeId x = e.x == MergePlan::kMergedSentinel ? m : e.x;
+    SupernodeId y = e.y == MergePlan::kMergedSentinel ? m : e.y;
+    state.AddEdgeConcurrent(x, y, e.sign);
+  }
+  return m;
+}
+
 /// Async work-stealing engine: workers pull whole groups and run Algorithm
-/// 2 to completion without barriers. Evaluations hold the state lock
-/// shared; commits hold it exclusively and are revalidated when another
-/// group committed since the evaluation snapshot (cross-edge re-encodings
-/// may touch a neighboring family). Lossless for every schedule, but the
-/// summary depends on commit interleaving.
+/// 2 to completion without barriers. Evaluations run concurrently in the
+/// eval room; commits batch in the commit room, each locking the hash
+/// shards of its write neighborhood so disjoint commits apply in parallel,
+/// and re-evaluating its plan when any commit landed since the evaluation
+/// snapshot (a neighboring family may have been re-encoded). Lossless for
+/// every schedule, but the summary depends on commit interleaving.
 void RunGroupsAsync(SluggerState& state,
                     std::vector<std::unique_ptr<WorkerContext>>& workers,
-                    ThreadPool& pool, uint64_t seed, uint32_t t,
-                    std::vector<std::vector<SupernodeId>>& groups,
+                    ThreadPool& pool, AsyncShared& shared, uint64_t seed,
+                    uint32_t t, std::vector<std::vector<SupernodeId>>& groups,
                     double theta, uint32_t height_bound,
                     SluggerResult* result) {
-  std::shared_mutex state_mu;
-  std::atomic<uint64_t> commit_version{0};
   std::atomic<uint64_t> evaluations{0};
   std::atomic<uint64_t> merges{0};
 
@@ -213,29 +300,43 @@ void RunGroupsAsync(SluggerState& state,
     std::vector<SupernodeId>& q = groups[task];
     Rng rng(GroupSeed(seed, t, task));
     uint64_t local_evals = 0;
+    std::vector<uint32_t> held;
+    std::vector<uint32_t> want;
+    std::vector<uint32_t> merged;
     while (q.size() > 1) {
+      shared.rooms.Enter(kEvalRoom);
       SupernodeId a = PopRandom(q, rng);
-      uint64_t seen_version;
-      size_t best_idx;
-      {
-        std::shared_lock<std::shared_mutex> lock(state_mu);
-        seen_version = commit_version.load(std::memory_order_relaxed);
-        best_idx = ScanPartners(state, ctx.planner, q, a, height_bound,
-                                &ctx.plan, &ctx.best, &local_evals);
-      }
+      uint64_t seen_version =
+          shared.commit_version.load(std::memory_order_relaxed);
+      size_t best_idx = ScanPartners(state, ctx.planner, q, a, height_bound,
+                                     &ctx.plan, &ctx.best, &local_evals);
+      shared.rooms.Exit(kEvalRoom);
       if (!(ctx.best.valid && ctx.best.saving >= theta)) continue;
-      std::unique_lock<std::shared_mutex> lock(state_mu);
+
+      shared.rooms.Enter(kCommitRoom);
+      LockCommitNeighborhood(state, shared.locks, ctx.best.a, ctx.best.b,
+                             &held, &want, &merged);
       const MergePlan* to_commit = &ctx.best;
-      if (commit_version.load(std::memory_order_relaxed) != seen_version) {
+      bool commit = true;
+      if (shared.commit_version.load(std::memory_order_relaxed) !=
+          seen_version) {
+        // A commit landed since the snapshot. If it overlapped this
+        // neighborhood, the shard handover above made its writes visible;
+        // re-evaluate against the now-stable neighborhood.
         ctx.planner.EvaluateInto(ctx.best.a, ctx.best.b, &ctx.plan);
         ++local_evals;
-        if (!(ctx.plan.valid && ctx.plan.saving >= theta)) continue;
+        commit = ctx.plan.valid && ctx.plan.saving >= theta;
         to_commit = &ctx.plan;
       }
-      SupernodeId m = ctx.planner.Commit(*to_commit);
-      commit_version.fetch_add(1, std::memory_order_relaxed);
-      merges.fetch_add(1, std::memory_order_relaxed);
-      q[best_idx] = m;
+      SupernodeId m = kInvalidId;
+      if (commit) {
+        m = CommitSharded(state, shared, *to_commit);
+        shared.commit_version.fetch_add(1, std::memory_order_relaxed);
+        merges.fetch_add(1, std::memory_order_relaxed);
+      }
+      shared.locks.Unlock(held);
+      shared.rooms.Exit(kCommitRoom);
+      if (m != kInvalidId) q[best_idx] = m;
     }
     evaluations.fetch_add(local_evals, std::memory_order_relaxed);
   });
@@ -254,20 +355,51 @@ SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
                                : config.num_threads;
   result.threads_used = threads;
 
+  // Resolve the engine: kAuto keeps the historical dispatch (sequential at
+  // one thread, then deterministic/async per the flag); an explicit engine
+  // wins, which lets the round-based engine run even at one thread (its
+  // output does not depend on the worker count at all).
+  MergeEngine engine = config.engine;
+  if (engine == MergeEngine::kAuto) {
+    engine = threads <= 1 ? MergeEngine::kSequential
+             : config.deterministic ? MergeEngine::kRoundBased
+                                    : MergeEngine::kAsync;
+  }
+
   SluggerState state(g);
   CandidateGenerator generator(g, config.seed, config.max_group_size,
                                config.shingle_levels);
 
+  // A pool exists whenever anything can use it: a parallel engine (even of
+  // size 1 — same algorithm, inline execution) or spare worker threads for
+  // candidate generation and pruning under the sequential engine. Worker
+  // contexts (planner scratch is sized eagerly to the id bound) are built
+  // only for the engine that runs them.
   std::optional<ThreadPool> pool;
   std::vector<std::unique_ptr<WorkerContext>> workers;
-  if (threads > 1) {
+  std::optional<AsyncShared> async_shared;
+  if (threads > 1 || engine != MergeEngine::kSequential) {
     pool.emplace(threads);
+  }
+  if (engine != MergeEngine::kSequential) {
     workers.reserve(threads);
     for (unsigned w = 0; w < threads; ++w) {
       workers.push_back(std::make_unique<WorkerContext>(&state));
     }
   }
-  MergePlanner seq_planner(&state);  // sequential path: process-wide memo
+  if (engine == MergeEngine::kAsync) {
+    // Stable storage is what makes concurrent commits safe: committers on
+    // disjoint shards index into these arrays while the (serialized)
+    // structural phase appends. The shard count caps the mutexes one
+    // commit can hold at once; 32 keeps worst-case holds (all shards plus
+    // the growth mutex) under ThreadSanitizer's 64-held-locks limit while
+    // still letting typical small neighborhoods commit in parallel.
+    state.ReserveForMergePhase();
+    async_shared.emplace(/*shard_count=*/32);
+  }
+  // Sequential path only: one planner on the process-wide memo table.
+  std::optional<MergePlanner> seq_planner;
+  if (engine == MergeEngine::kSequential) seq_planner.emplace(&state);
   Rng seq_rng(Mix64(config.seed ^ 0xC0FFEEull));
 
   const uint32_t hb = config.max_height;  // 0 = unbounded
@@ -279,15 +411,21 @@ SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
         generator.Generate(state, t, pool ? &*pool : nullptr);
     result.candidate_seconds += candidate_timer.Seconds();
 
-    if (threads <= 1) {
-      RunGroupsSequential(state, seq_planner, seq_rng, groups, theta, hb,
-                          &result);
-    } else if (config.deterministic) {
-      RunGroupsDeterministic(state, workers, *pool, config.seed, t, groups,
-                             theta, hb, &result);
-    } else {
-      RunGroupsAsync(state, workers, *pool, config.seed, t, groups, theta,
-                     hb, &result);
+    switch (engine) {
+      case MergeEngine::kSequential:
+        RunGroupsSequential(state, *seq_planner, seq_rng, groups, theta, hb,
+                            &result);
+        break;
+      case MergeEngine::kRoundBased:
+        RunGroupsDeterministic(state, workers, *pool, config.seed, t, groups,
+                               theta, hb, &result);
+        break;
+      case MergeEngine::kAsync:
+        RunGroupsAsync(state, workers, *pool, *async_shared, config.seed, t,
+                       groups, theta, hb, &result);
+        break;
+      case MergeEngine::kAuto:
+        break;  // resolved above; unreachable
     }
     if (config.check_aggregates) {
       result.aggregates_valid =
@@ -296,13 +434,15 @@ SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
   }
   result.merge_seconds = total_timer.Seconds();
 
-  // Pruning (paper §III-B4).
+  // Pruning (paper §III-B4), on the pool when one exists (thread-count
+  // invariant; see PruneOptions::pool).
   WallTimer prune_timer;
   PruneOptions popt;
   popt.rounds = config.pruning_rounds;
   popt.enable_step1 = config.prune_step1;
   popt.enable_step2 = config.prune_step2;
   popt.enable_step3 = config.prune_step3;
+  popt.pool = (pool && config.parallel_pruning) ? &*pool : nullptr;
   if (config.pruning_rounds > 0) {
     result.prune_ablation = PruneSummary(&state.summary(), g, popt);
   } else {

@@ -39,7 +39,9 @@ struct SluggerResult {
 /// runs the sequential engine (reproducible run to run), and with
 /// config.deterministic (the default) the result is additionally
 /// identical across all num_threads >= 2; with deterministic = false the
-/// parallel result depends on scheduling.
+/// async engine's result depends on scheduling. Pinning
+/// config.engine = MergeEngine::kRoundBased extends the byte-identity
+/// guarantee to every thread count including 1 (see SluggerConfig).
 SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config);
 
 /// Merging threshold θ(t) (paper Eq. 9).

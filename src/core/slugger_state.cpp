@@ -8,6 +8,8 @@ namespace slugger::core {
 SluggerState::SluggerState(const graph::Graph& g)
     : input_(&g), summary_(g.num_nodes()), dsu_(g.num_nodes()) {
   const NodeId n = g.num_nodes();
+  // n leaves plus at most n - 1 merged supernodes.
+  max_supernodes_ = n == 0 ? 0 : 2 * n - 1;
   root_of_.resize(n);
   roots_.resize(n);
   root_pos_.resize(n);
@@ -26,6 +28,19 @@ SluggerState::SluggerState(const graph::Graph& g)
   }
 }
 
+void SluggerState::ReserveForMergePhase() {
+  const SupernodeId total = max_supernodes_;
+  root_of_.reserve(total);
+  root_pos_.reserve(total);
+  h_.reserve(total);
+  inc_.reserve(total);
+  within_.reserve(total);
+  height_.reserve(total);
+  root_adj_.reserve(total);
+  dsu_.Reserve(total);
+  summary_.Reserve(total);
+}
+
 void SluggerState::RootAdjAdd(SupernodeId ra, SupernodeId rb, int delta) {
   uint32_t& ab = root_adj_[ra].GetOrInsert(rb, 0);
   ab = static_cast<uint32_t>(static_cast<int64_t>(ab) + delta);
@@ -35,12 +50,7 @@ void SluggerState::RootAdjAdd(SupernodeId ra, SupernodeId rb, int delta) {
   if (ba == 0) root_adj_[rb].Erase(ra);
 }
 
-void SluggerState::AddEdge(SupernodeId x, SupernodeId y, EdgeSign sign) {
-  bool inserted = summary_.AddEdge(x, y, sign);
-  assert(inserted);
-  (void)inserted;
-  SupernodeId rx = FindRoot(x);
-  SupernodeId ry = FindRoot(y);
+void SluggerState::ApplyEdgeAdd(SupernodeId rx, SupernodeId ry) {
   if (rx == ry) {
     ++within_[rx];
     ++inc_[rx];
@@ -51,11 +61,10 @@ void SluggerState::AddEdge(SupernodeId x, SupernodeId y, EdgeSign sign) {
   }
 }
 
-EdgeSign SluggerState::RemoveEdge(SupernodeId x, SupernodeId y) {
+EdgeSign SluggerState::ApplyEdgeRemove(SupernodeId x, SupernodeId y,
+                                       SupernodeId rx, SupernodeId ry) {
   EdgeSign sign = summary_.RemoveEdge(x, y);
   if (sign == 0) return 0;
-  SupernodeId rx = FindRoot(x);
-  SupernodeId ry = FindRoot(y);
   if (rx == ry) {
     --within_[rx];
     --inc_[rx];
@@ -67,7 +76,36 @@ EdgeSign SluggerState::RemoveEdge(SupernodeId x, SupernodeId y) {
   return sign;
 }
 
+void SluggerState::AddEdge(SupernodeId x, SupernodeId y, EdgeSign sign) {
+  bool inserted = summary_.AddEdge(x, y, sign);
+  assert(inserted);
+  (void)inserted;
+  ApplyEdgeAdd(FindRoot(x), FindRoot(y));
+}
+
+EdgeSign SluggerState::RemoveEdge(SupernodeId x, SupernodeId y) {
+  return ApplyEdgeRemove(x, y, FindRoot(x), FindRoot(y));
+}
+
+void SluggerState::AddEdgeConcurrent(SupernodeId x, SupernodeId y,
+                                     EdgeSign sign) {
+  bool inserted = summary_.AddEdge(x, y, sign);
+  assert(inserted);
+  (void)inserted;
+  ApplyEdgeAdd(FindRootConst(x), FindRootConst(y));
+}
+
+EdgeSign SluggerState::RemoveEdgeConcurrent(SupernodeId x, SupernodeId y) {
+  return ApplyEdgeRemove(x, y, FindRootConst(x), FindRootConst(y));
+}
+
 SupernodeId SluggerState::MergeRoots(SupernodeId a, SupernodeId b) {
+  SupernodeId m = MergeRootsStructural(a, b);
+  FoldRootAdjacency(a, b, m);
+  return m;
+}
+
+SupernodeId SluggerState::MergeRootsStructural(SupernodeId a, SupernodeId b) {
   assert(a != b);
   uint32_t between_ab = Between(a, b);
   SupernodeId m = summary_.Merge(a, b);
@@ -88,30 +126,6 @@ SupernodeId SluggerState::MergeRoots(SupernodeId a, SupernodeId b) {
   uint32_t rep = dsu_.Unite(dsu_.Unite(a, b), m);
   root_of_[rep] = m;
 
-  // Fold root adjacencies of a and b into m: the larger side's map is
-  // moved wholesale and becomes m's, so only the smaller side pays map
-  // inserts into m. Back-pointer rewrites (other -> a/b becoming
-  // other -> m) are unavoidable on both sides.
-  {
-    SupernodeId big = root_adj_[a].size() >= root_adj_[b].size() ? a : b;
-    SupernodeId small = big == a ? b : a;
-    FlatCountMap& m_adj = root_adj_[m];
-    m_adj = std::move(root_adj_[big]);
-    root_adj_[big].clear();  // normalize the moved-from map
-    m_adj.Erase(small);      // between(a, b) edges became within(m)
-    m_adj.ForEach([&](SupernodeId other, uint32_t count) {
-      root_adj_[other].Erase(big);
-      root_adj_[other].GetOrInsert(m, 0) += count;
-    });
-    root_adj_[small].ForEach([&](SupernodeId other, uint32_t count) {
-      if (other == big) return;  // became within(m)
-      root_adj_[other].Erase(small);
-      root_adj_[other].GetOrInsert(m, 0) += count;
-      m_adj.GetOrInsert(other, 0) += count;
-    });
-    root_adj_[small].clear();
-  }
-
   // Update the root list: remove a and b, add m.
   auto remove_root = [&](SupernodeId r) {
     uint32_t pos = root_pos_[r];
@@ -125,6 +139,31 @@ SupernodeId SluggerState::MergeRoots(SupernodeId a, SupernodeId b) {
   root_pos_[m] = static_cast<uint32_t>(roots_.size());
   roots_.push_back(m);
   return m;
+}
+
+void SluggerState::FoldRootAdjacency(SupernodeId a, SupernodeId b,
+                                     SupernodeId m) {
+  // Fold root adjacencies of a and b into m: the larger side's map is
+  // moved wholesale and becomes m's, so only the smaller side pays map
+  // inserts into m. Back-pointer rewrites (other -> a/b becoming
+  // other -> m) are unavoidable on both sides.
+  SupernodeId big = root_adj_[a].size() >= root_adj_[b].size() ? a : b;
+  SupernodeId small = big == a ? b : a;
+  FlatCountMap& m_adj = root_adj_[m];
+  m_adj = std::move(root_adj_[big]);
+  root_adj_[big].clear();  // normalize the moved-from map
+  m_adj.Erase(small);      // between(a, b) edges became within(m)
+  m_adj.ForEach([&](SupernodeId other, uint32_t count) {
+    root_adj_[other].Erase(big);
+    root_adj_[other].GetOrInsert(m, 0) += count;
+  });
+  root_adj_[small].ForEach([&](SupernodeId other, uint32_t count) {
+    if (other == big) return;  // became within(m)
+    root_adj_[other].Erase(small);
+    root_adj_[other].GetOrInsert(m, 0) += count;
+    m_adj.GetOrInsert(other, 0) += count;
+  });
+  root_adj_[small].clear();
 }
 
 uint64_t SluggerState::TotalCostFromAggregates() const {

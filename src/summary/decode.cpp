@@ -1,5 +1,6 @@
 #include "summary/decode.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "graph/edge_list.hpp"
@@ -7,7 +8,16 @@
 
 namespace slugger::summary {
 
-graph::Graph Decode(const SummaryGraph& summary) {
+namespace {
+
+struct SuperEdge {
+  SupernodeId a;
+  SupernodeId b;
+  EdgeSign sign;
+};
+
+/// The historical single-threaded path: one global coverage map.
+graph::Graph DecodeSequential(const SummaryGraph& summary) {
   const NodeId n = summary.num_leaves();
 
   std::unordered_map<uint64_t, int32_t> coverage;
@@ -43,6 +53,101 @@ graph::Graph Decode(const SummaryGraph& summary) {
     if (net > 0) builder.Add(PairFirst(key), PairSecond(key));
   }
   return graph::Graph::FromCanonicalEdges(n, builder.Finalize());
+}
+
+}  // namespace
+
+graph::Graph Decode(const SummaryGraph& summary, ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || summary.num_leaves() < 2) {
+    return DecodeSequential(summary);
+  }
+  const NodeId n = summary.num_leaves();
+  const unsigned workers = pool->size();
+
+  // Snapshot the superedge list so workers can claim disjoint slices.
+  std::vector<SuperEdge> supers;
+  supers.reserve(summary.p_count() + summary.n_count());
+  summary.ForEachEdge([&](SupernodeId a, SupernodeId b, EdgeSign sign) {
+    supers.push_back({a, b, sign});
+  });
+
+  // Ranges partition the node-id space by the smaller endpoint of a pair.
+  // More ranges than workers load-balances skewed supernode sizes; the
+  // output is range-count independent (ranges concatenate in id order).
+  const uint32_t num_ranges = std::min<uint32_t>(n, workers * 8);
+  auto range_of = [&](NodeId min_id) -> uint32_t {
+    return static_cast<uint32_t>(static_cast<uint64_t>(min_id) * num_ranges / n);
+  };
+
+  // Phase 1: expand superedge slices into per-(worker, range) accumulators.
+  // Each signed pair is recorded exactly once, keyed canonically.
+  std::vector<std::vector<std::vector<std::pair<uint64_t, int32_t>>>> buckets(
+      workers);
+  for (auto& per_worker : buckets) per_worker.resize(num_ranges);
+  struct ExpandScratch {
+    std::vector<NodeId> leaves_a;
+    std::vector<NodeId> leaves_b;
+    std::vector<SupernodeId> stack;
+  };
+  std::vector<ExpandScratch> scratch(workers);
+
+  constexpr uint64_t kSuperGrain = 8;
+  pool->ParallelFor(
+      supers.size(), kSuperGrain,
+      [&](uint64_t begin, uint64_t end, unsigned worker) {
+        ExpandScratch& sc = scratch[worker];
+        auto& out = buckets[worker];
+        auto emit = [&](NodeId u, NodeId v, EdgeSign sign) {
+          uint64_t key = PairKey(u, v);
+          out[range_of(PairFirst(key))].emplace_back(key, sign);
+        };
+        for (uint64_t e = begin; e < end; ++e) {
+          const SuperEdge& se = supers[e];
+          if (se.a == se.b) {
+            summary.CollectLeaves(se.a, &sc.leaves_a, &sc.stack);
+            for (size_t i = 0; i < sc.leaves_a.size(); ++i) {
+              for (size_t j = i + 1; j < sc.leaves_a.size(); ++j) {
+                emit(sc.leaves_a[i], sc.leaves_a[j], se.sign);
+              }
+            }
+          } else {
+            summary.CollectLeaves(se.a, &sc.leaves_a, &sc.stack);
+            summary.CollectLeaves(se.b, &sc.leaves_b, &sc.stack);
+            for (NodeId u : sc.leaves_a) {
+              for (NodeId v : sc.leaves_b) emit(u, v, se.sign);
+            }
+          }
+        }
+      });
+
+  // Phase 2: per range, fold every worker's bucket into a net-coverage map
+  // and emit the surviving pairs in canonical order. Range r's keys all
+  // precede range r+1's, so per-range sorted outputs concatenate sorted.
+  std::vector<std::vector<Edge>> range_edges(num_ranges);
+  pool->Run(num_ranges, [&](uint64_t r, unsigned) {
+    size_t total = 0;
+    for (unsigned w = 0; w < workers; ++w) total += buckets[w][r].size();
+    if (total == 0) return;
+    std::unordered_map<uint64_t, int32_t> net;
+    net.reserve(total * 2);
+    for (unsigned w = 0; w < workers; ++w) {
+      for (const auto& [key, sign] : buckets[w][r]) net[key] += sign;
+    }
+    std::vector<Edge>& out = range_edges[r];
+    for (const auto& [key, cov] : net) {
+      if (cov > 0) out.emplace_back(PairFirst(key), PairSecond(key));
+    }
+    std::sort(out.begin(), out.end());
+  });
+
+  std::vector<Edge> edges;
+  size_t total_edges = 0;
+  for (const auto& re : range_edges) total_edges += re.size();
+  edges.reserve(total_edges);
+  for (const auto& re : range_edges) {
+    edges.insert(edges.end(), re.begin(), re.end());
+  }
+  return graph::Graph::FromCanonicalEdges(n, std::move(edges));
 }
 
 }  // namespace slugger::summary

@@ -4,6 +4,7 @@
 
 #include "graph/graph.hpp"
 #include "summary/summary_graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace slugger::summary {
 
@@ -11,7 +12,14 @@ namespace slugger::summary {
 /// iff the net signed coverage of {u, v} is positive (paper §II-B).
 /// Cost is linear in the total pair coverage of all superedges, which for
 /// SLUGGER outputs is O(|E| + cancelled pairs).
-graph::Graph Decode(const SummaryGraph& summary);
+///
+/// With a non-null `pool`, reconstruction runs in parallel: workers expand
+/// disjoint slices of the superedge list into thread-local accumulators
+/// bucketed by the smaller endpoint's node range, then each range is
+/// reduced and emitted independently. The decoded graph is identical for
+/// every pool size (including none) — net coverage per pair is a sum, and
+/// ranges concatenate in canonical order.
+graph::Graph Decode(const SummaryGraph& summary, ThreadPool* pool = nullptr);
 
 }  // namespace slugger::summary
 

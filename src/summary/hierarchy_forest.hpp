@@ -60,21 +60,41 @@ class HierarchyForest {
   /// Invokes fn(leaf) for every subnode contained in s.
   template <typename Fn>
   void ForEachLeaf(SupernodeId s, Fn&& fn) const {
+    ForEachLeafWith(&scratch_, s, fn);
+  }
+
+  /// ForEachLeaf with a caller-provided traversal stack. The shared-scratch
+  /// overload above is NOT safe to call from several threads at once; give
+  /// each worker its own stack and this one is (the traversal only reads
+  /// the forest).
+  template <typename Fn>
+  void ForEachLeafWith(std::vector<SupernodeId>* stack, SupernodeId s,
+                       Fn&& fn) const {
     if (IsLeaf(s)) {
       fn(static_cast<NodeId>(s));
       return;
     }
-    scratch_.clear();
-    scratch_.push_back(s);
-    while (!scratch_.empty()) {
-      SupernodeId x = scratch_.back();
-      scratch_.pop_back();
+    stack->clear();
+    stack->push_back(s);
+    while (!stack->empty()) {
+      SupernodeId x = stack->back();
+      stack->pop_back();
       if (IsLeaf(x)) {
         fn(static_cast<NodeId>(x));
       } else {
-        for (SupernodeId c : children_[x]) scratch_.push_back(c);
+        for (SupernodeId c : children_[x]) stack->push_back(c);
       }
     }
+  }
+
+  /// Pre-allocates every per-supernode array to `total` entries so that
+  /// CreateParent never reallocates. Concurrent readers of existing
+  /// entries then stay safe while a (serialized) writer appends.
+  void Reserve(SupernodeId total) {
+    parent_.reserve(total);
+    children_.reserve(total);
+    size_.reserve(total);
+    alive_.reserve(total);
   }
 
   /// Collects alive roots.

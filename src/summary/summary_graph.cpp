@@ -52,4 +52,10 @@ void SummaryGraph::CollectLeaves(SupernodeId s, std::vector<NodeId>* out) const 
   forest_.ForEachLeaf(s, [&](NodeId u) { out->push_back(u); });
 }
 
+void SummaryGraph::CollectLeaves(SupernodeId s, std::vector<NodeId>* out,
+                                 std::vector<SupernodeId>* stack) const {
+  out->clear();
+  forest_.ForEachLeafWith(stack, s, [&](NodeId u) { out->push_back(u); });
+}
+
 }  // namespace slugger::summary

@@ -83,6 +83,18 @@ class SummaryGraph {
   /// Collects the leaves (subnode ids) of s into a reusable buffer.
   void CollectLeaves(SupernodeId s, std::vector<NodeId>* out) const;
 
+  /// CollectLeaves with a caller-provided traversal stack — safe to call
+  /// concurrently from several threads (each with its own buffers).
+  void CollectLeaves(SupernodeId s, std::vector<NodeId>* out,
+                     std::vector<SupernodeId>* stack) const;
+
+  /// Pre-allocates forest and adjacency storage for `total` supernodes so
+  /// Merge never reallocates (see HierarchyForest::Reserve).
+  void Reserve(SupernodeId total) {
+    forest_.Reserve(total);
+    adj_.reserve(total);
+  }
+
   /// Initializes the summary to represent graph edges verbatim:
   /// P+ = {({u},{v})}, P- = {}, H = {} (paper Alg. 1, lines 1-4).
   template <typename EdgeRange>
@@ -93,8 +105,11 @@ class SummaryGraph {
  private:
   HierarchyForest forest_;
   std::vector<FlatSignedMap> adj_;
-  uint64_t p_count_ = 0;
-  uint64_t n_count_ = 0;
+  // Atomic (relaxed): the async merge engine lets commits on disjoint lock
+  // shards add/remove edges concurrently, and these two tallies are the
+  // only state they share.
+  RelaxedCounter p_count_ = 0;
+  RelaxedCounter n_count_ = 0;
 };
 
 }  // namespace slugger::summary

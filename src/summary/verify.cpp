@@ -1,26 +1,54 @@
 #include "summary/verify.hpp"
 
+#include <atomic>
 #include <string>
 
 #include "summary/decode.hpp"
 
 namespace slugger::summary {
 
-Status VerifyLossless(const graph::Graph& expected, const SummaryGraph& summary) {
+namespace {
+
+/// Parallel equality pre-check over aligned edge slices. Only reached when
+/// the edge counts match, so a mismatch at any index decides inequality.
+bool EdgesEqual(const std::vector<Edge>& a, const std::vector<Edge>& b,
+                ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || a.size() < (1u << 14)) {
+    return a == b;
+  }
+  std::atomic<bool> equal{true};
+  constexpr uint64_t kGrain = 1 << 14;
+  pool->ParallelFor(a.size(), kGrain,
+                    [&](uint64_t begin, uint64_t end, unsigned) {
+                      if (!equal.load(std::memory_order_relaxed)) return;
+                      for (uint64_t i = begin; i < end; ++i) {
+                        if (a[i] != b[i]) {
+                          equal.store(false, std::memory_order_relaxed);
+                          return;
+                        }
+                      }
+                    });
+  return equal.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Status VerifyLossless(const graph::Graph& expected, const SummaryGraph& summary,
+                      ThreadPool* pool) {
   if (summary.num_leaves() != expected.num_nodes()) {
     return Status::Corruption(
         "node count mismatch: summary has " +
         std::to_string(summary.num_leaves()) + ", graph has " +
         std::to_string(expected.num_nodes()));
   }
-  graph::Graph decoded = Decode(summary);
-  if (decoded == expected) return Status::OK();
+  graph::Graph decoded = Decode(summary, pool);
+  const auto& a = expected.Edges();
+  const auto& b = decoded.Edges();
+  if (a.size() == b.size() && EdgesEqual(a, b, pool)) return Status::OK();
 
   // Report a small sample of differing edges to aid debugging.
   std::string diff;
   int reported = 0;
-  const auto& a = expected.Edges();
-  const auto& b = decoded.Edges();
   size_t i = 0, j = 0;
   while ((i < a.size() || j < b.size()) && reported < 5) {
     if (j >= b.size() || (i < a.size() && a[i] < b[j])) {

@@ -5,12 +5,17 @@
 #include "graph/graph.hpp"
 #include "summary/summary_graph.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace slugger::summary {
 
 /// Decodes `summary` and compares against `expected` edge-for-edge.
 /// OK on exact match; Corruption with a diff sample otherwise.
-Status VerifyLossless(const graph::Graph& expected, const SummaryGraph& summary);
+/// With a non-null `pool`, reconstruction and the edge comparison run in
+/// parallel (per-node-range, thread-local accumulators); the verdict and
+/// diff sample are identical for every pool size.
+Status VerifyLossless(const graph::Graph& expected, const SummaryGraph& summary,
+                      ThreadPool* pool = nullptr);
 
 }  // namespace slugger::summary
 

@@ -1,0 +1,110 @@
+// Concurrency primitives for the sharded async commit path.
+//
+// ShardedLockTable hashes supernode ids onto a fixed set of mutexes so that
+// commits whose neighborhoods map to disjoint shards can apply their edge
+// rewrites concurrently. Acquisition is always over a sorted unique shard
+// list (ascending), which makes cycles — and therefore deadlocks — between
+// committers impossible. Because a commit's neighborhood can change between
+// computing its shard set and locking it, callers revalidate the set after
+// acquisition and retry with the widened set (see RunGroupsAsync).
+//
+// TwoGroupLock is a group mutual-exclusion ("room") lock: any number of
+// members of one group may hold it together, members of different groups
+// never do. The async merge engine uses it to let many read-only
+// evaluations run concurrently (read room) while commits — which write the
+// shared state under their shard locks — batch in the commit room.
+#ifndef SLUGGER_UTIL_SHARDED_LOCK_HPP_
+#define SLUGGER_UTIL_SHARDED_LOCK_HPP_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace slugger {
+
+/// Fixed table of mutexes indexed by a hash of a 32-bit id. Lock/Unlock
+/// take a SORTED, DEDUPLICATED list of shard indices; sorting is what
+/// guarantees two committers can never wait on each other in a cycle.
+class ShardedLockTable {
+ public:
+  /// `shard_count` is rounded up to a power of two (min 1).
+  explicit ShardedLockTable(uint32_t shard_count = 256) {
+    uint32_t n = 1;
+    while (n < shard_count) n <<= 1;
+    shards_ = std::vector<std::mutex>(n);
+    mask_ = n - 1;
+  }
+
+  ShardedLockTable(const ShardedLockTable&) = delete;
+  ShardedLockTable& operator=(const ShardedLockTable&) = delete;
+
+  uint32_t shard_count() const { return mask_ + 1; }
+
+  uint32_t ShardOf(uint32_t id) const {
+    return static_cast<uint32_t>(Mix64(id)) & mask_;
+  }
+
+  /// Sorts and deduplicates a shard list in place (required before Lock).
+  static void Normalize(std::vector<uint32_t>* shard_ids) {
+    std::sort(shard_ids->begin(), shard_ids->end());
+    shard_ids->erase(std::unique(shard_ids->begin(), shard_ids->end()),
+                     shard_ids->end());
+  }
+
+  /// Locks every shard in `sorted_unique`, in ascending order.
+  void Lock(const std::vector<uint32_t>& sorted_unique) {
+    for (uint32_t s : sorted_unique) shards_[s].lock();
+  }
+
+  /// Unlocks every shard in `sorted_unique` (any order is safe).
+  void Unlock(const std::vector<uint32_t>& sorted_unique) {
+    for (uint32_t s : sorted_unique) shards_[s].unlock();
+  }
+
+ private:
+  std::vector<std::mutex> shards_;
+  uint32_t mask_ = 0;
+};
+
+/// Group mutual exclusion between two groups (0 and 1): concurrent within a
+/// group, exclusive across groups. A member of the active group is admitted
+/// only while no member of the other group waits, so neither group can
+/// starve the other under a steady stream of entrants.
+class TwoGroupLock {
+ public:
+  void Enter(unsigned group) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_[group];
+    cv_.wait(lock, [&] {
+      if (active_ == 0) return true;
+      return active_group_ == group && waiting_[1 - group] == 0;
+    });
+    --waiting_[group];
+    active_group_ = group;
+    ++active_;
+  }
+
+  void Exit(unsigned group) {
+    std::unique_lock<std::mutex> lock(mu_);
+    (void)group;
+    if (--active_ == 0) {
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned active_group_ = 0;
+  uint32_t active_ = 0;
+  uint32_t waiting_[2] = {0, 0};
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_SHARDED_LOCK_HPP_

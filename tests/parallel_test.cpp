@@ -1,19 +1,26 @@
-// Tests for the parallel merge engine and util/thread_pool: determinism
-// (same seed + same thread count -> byte-identical serialized summary, and
-// in deterministic mode byte-identical across thread counts), losslessness
-// and aggregate invariants at 1, 2, and 8 threads over RMAT and
-// Erdős–Rényi inputs, plus thread-pool unit coverage.
+// Tests for the parallel phases and their synchronization primitives:
+// merge-engine determinism (same seed + same thread count -> byte-identical
+// serialized summary; deterministic mode byte-identical across thread
+// counts; forced round engine byte-identical INCLUDING one thread),
+// parallel pruning determinism (byte-identical summaries at pool sizes 1,
+// 2, 8), parallel VerifyLossless/Decode agreement with the sequential
+// verifier on RMAT/ER inputs, the sharded async commit path, losslessness
+// and aggregate invariants, plus thread-pool / lock-table unit coverage.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/pruning.hpp"
 #include "core/slugger.hpp"
 #include "gen/generators.hpp"
+#include "summary/decode.hpp"
 #include "summary/serialize.hpp"
 #include "summary/verify.hpp"
+#include "util/sharded_lock.hpp"
 #include "util/thread_pool.hpp"
 
 namespace slugger {
@@ -75,6 +82,61 @@ TEST(ThreadPool, ZeroTasksIsANoop) {
   EXPECT_FALSE(ran);
   pool.ParallelFor(0, 16, [&](uint64_t, uint64_t, unsigned) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+// ------------------------------------------------------ lock primitives
+TEST(ShardedLockTable, NormalizeSortsAndDedups) {
+  std::vector<uint32_t> shards = {7, 3, 7, 1, 3};
+  ShardedLockTable::Normalize(&shards);
+  EXPECT_EQ(shards, (std::vector<uint32_t>{1, 3, 7}));
+}
+
+TEST(ShardedLockTable, OverlappingSetsMutuallyExclude) {
+  ShardedLockTable table(8);
+  // Find two ids in the same shard and one in a different shard.
+  uint32_t base = 0;
+  uint32_t same = 1;
+  while (table.ShardOf(same) != table.ShardOf(base)) ++same;
+  uint64_t unprotected = 0;
+  std::vector<uint32_t> set_a = {table.ShardOf(base)};
+  std::vector<uint32_t> set_b = {table.ShardOf(same), table.ShardOf(base) ^ 1};
+  ShardedLockTable::Normalize(&set_a);
+  ShardedLockTable::Normalize(&set_b);
+  constexpr int kIters = 20000;
+  auto work = [&](const std::vector<uint32_t>& set) {
+    for (int i = 0; i < kIters; ++i) {
+      table.Lock(set);
+      ++unprotected;  // both sets contain ShardOf(base)'s shard
+      table.Unlock(set);
+    }
+  };
+  std::thread t1([&] { work(set_a); });
+  std::thread t2([&] { work(set_b); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(unprotected, 2ull * kIters);
+}
+
+TEST(TwoGroupLock, GroupsNeverOverlap) {
+  TwoGroupLock rooms;
+  std::atomic<int> in_group[2] = {0, 0};
+  std::atomic<bool> overlap{false};
+  constexpr int kIters = 5000;
+  auto member = [&](unsigned group) {
+    for (int i = 0; i < kIters; ++i) {
+      rooms.Enter(group);
+      in_group[group].fetch_add(1);
+      if (in_group[1 - group].load() != 0) overlap.store(true);
+      in_group[group].fetch_sub(1);
+      rooms.Exit(group);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned g : {0u, 1u, 0u, 1u}) {
+    threads.emplace_back([&, g] { member(g); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(overlap.load());
 }
 
 // --------------------------------------------------------- engine fixtures
@@ -186,6 +248,157 @@ TEST(ParallelEngine, TinyGraphsSurviveAllEngines) {
       EXPECT_TRUE(summary::VerifyLossless(one_edge, r1.summary).ok());
     }
   }
+}
+
+// ---------------------------------------------------------- engine knob
+TEST(ParallelEngine, ForcedRoundEngineByteIdenticalIncludingOneThread) {
+  // With the round-based engine pinned (and parallel pruning + parallel
+  // verify on their pool), the full pipeline is byte-identical at 1, 2,
+  // and 8 threads — including the one-thread run, which kAuto would have
+  // sent down the distinct sequential path.
+  for (const graph::Graph& g : {RmatInput(), ErdosRenyiInput()}) {
+    std::string reference;
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      core::SluggerConfig config = ParallelConfig(threads, true);
+      config.engine = core::MergeEngine::kRoundBased;
+      std::string bytes = SummaryBytes(g, config);
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        EXPECT_EQ(bytes, reference) << "threads = " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelEngine, SequentialEngineOutputIgnoresPoolSize) {
+  // engine = kSequential with spare threads parallelizes only candidate
+  // generation (thread-count invariant); with parallel pruning disabled
+  // the bytes must match the plain one-thread run exactly.
+  graph::Graph g = RmatInput();
+  core::SluggerConfig config = ParallelConfig(1, true);
+  config.parallel_pruning = false;
+  std::string one = SummaryBytes(g, config);
+  config.engine = core::MergeEngine::kSequential;
+  config.num_threads = 4;
+  std::string four = SummaryBytes(g, config);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ParallelEngine, AsyncShardedCommitsSurviveHeavyChurn) {
+  // Many small dense communities produce many concurrent commits on
+  // overlapping and disjoint neighborhoods; every schedule must stay
+  // lossless with valid aggregates.
+  graph::Graph g = gen::Caveman(60, 12, 0.1, 11);
+  for (uint32_t threads : {2u, 8u}) {
+    core::SluggerConfig config = ParallelConfig(threads, false);
+    config.engine = core::MergeEngine::kAsync;
+    config.iterations = 10;
+    core::SluggerResult r = core::Summarize(g, config);
+    EXPECT_TRUE(r.aggregates_valid) << "threads = " << threads;
+    EXPECT_TRUE(summary::VerifyLossless(g, r.summary).ok())
+        << "threads = " << threads;
+    EXPECT_GT(r.merges, 0u);
+  }
+}
+
+// ------------------------------------------------------ parallel pruning
+TEST(ParallelPruning, ByteIdenticalAcrossPoolSizes) {
+  for (const graph::Graph& g : {RmatInput(), ErdosRenyiInput()}) {
+    core::SluggerConfig config = ParallelConfig(1, true);
+    config.pruning_rounds = 0;  // keep the summary unpruned
+    core::SluggerResult r = core::Summarize(g, config);
+    const summary::SummaryGraph base = r.summary;
+
+    std::string reference;
+    for (uint32_t pool_size : {1u, 2u, 8u}) {
+      ThreadPool pool(pool_size);
+      summary::SummaryGraph pruned = base;
+      core::PruneOptions popt;
+      popt.pool = &pool;
+      core::PruneSummary(&pruned, g, popt);
+      EXPECT_TRUE(summary::VerifyLossless(g, pruned).ok())
+          << "pool = " << pool_size;
+      std::string bytes = summary::SerializeSummary(pruned);
+      if (reference.empty()) {
+        reference = bytes;
+      } else {
+        EXPECT_EQ(bytes, reference) << "pool = " << pool_size;
+      }
+      EXPECT_LE(summary::ComputeStats(pruned).cost,
+                summary::ComputeStats(base).cost);
+    }
+
+    // The sequential path (no pool) must stay lossless too; substep 2's
+    // dissolve order differs, so only the verdict is compared.
+    summary::SummaryGraph seq = base;
+    core::PruneSummary(&seq, g, core::PruneOptions{});
+    EXPECT_TRUE(summary::VerifyLossless(g, seq).ok());
+  }
+}
+
+TEST(ParallelPruning, AblationStagesStayMonotone) {
+  graph::Graph g = ErdosRenyiInput();
+  core::SluggerConfig config = ParallelConfig(1, true);
+  config.pruning_rounds = 0;
+  core::SluggerResult r = core::Summarize(g, config);
+  ThreadPool pool(4);
+  core::PruneOptions popt;
+  popt.pool = &pool;
+  summary::SummaryGraph pruned = r.summary;
+  core::PruneAblation ab = core::PruneSummary(&pruned, g, popt);
+  EXPECT_LE(ab.stage[1].cost, ab.stage[0].cost);
+  EXPECT_LE(ab.stage[2].cost, ab.stage[1].cost);
+  EXPECT_LE(ab.stage[3].cost, ab.stage[2].cost);
+}
+
+// ------------------------------------------------- parallel verify/decode
+TEST(ParallelVerify, AgreesWithSequentialOnIntactSummaries) {
+  for (const graph::Graph& g : {RmatInput(), ErdosRenyiInput()}) {
+    core::SluggerConfig config = ParallelConfig(1, true);
+    core::SluggerResult r = core::Summarize(g, config);
+    graph::Graph decoded_seq = summary::Decode(r.summary);
+    for (uint32_t pool_size : {1u, 2u, 8u}) {
+      ThreadPool pool(pool_size);
+      graph::Graph decoded_par = summary::Decode(r.summary, &pool);
+      EXPECT_TRUE(decoded_par == decoded_seq) << "pool = " << pool_size;
+      EXPECT_TRUE(summary::VerifyLossless(g, r.summary, &pool).ok())
+          << "pool = " << pool_size;
+    }
+  }
+}
+
+TEST(ParallelVerify, AgreesWithSequentialOnCorruptedSummaries) {
+  graph::Graph g = ErdosRenyiInput();
+  core::SluggerConfig config = ParallelConfig(1, true);
+  core::SluggerResult r = core::Summarize(g, config);
+
+  // Drop one non-self superedge: at least one subnode pair loses coverage,
+  // so every verifier must reject the summary.
+  SupernodeId da = kInvalidId, db = kInvalidId;
+  r.summary.ForEachEdge([&](SupernodeId a, SupernodeId b, EdgeSign) {
+    if (da == kInvalidId && a != b) {
+      da = a;
+      db = b;
+    }
+  });
+  ASSERT_NE(da, kInvalidId);
+  r.summary.RemoveEdge(da, db);
+
+  EXPECT_FALSE(summary::VerifyLossless(g, r.summary).ok());
+  for (uint32_t pool_size : {2u, 8u}) {
+    ThreadPool pool(pool_size);
+    EXPECT_FALSE(summary::VerifyLossless(g, r.summary, &pool).ok())
+        << "pool = " << pool_size;
+  }
+}
+
+TEST(ParallelVerify, NodeCountMismatchIsReportedWithAnyPool) {
+  graph::Graph g = graph::Graph::FromEdges(3, {{0, 1}});
+  summary::SummaryGraph wrong(2);
+  ThreadPool pool(2);
+  EXPECT_FALSE(summary::VerifyLossless(g, wrong).ok());
+  EXPECT_FALSE(summary::VerifyLossless(g, wrong, &pool).ok());
 }
 
 }  // namespace
