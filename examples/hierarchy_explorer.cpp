@@ -10,9 +10,8 @@
 #include <map>
 #include <vector>
 
-#include "core/slugger.hpp"
+#include "api/engine.hpp"
 #include "gen/generators.hpp"
-#include "summary/stats.hpp"
 
 int main() {
   using namespace slugger;
@@ -31,16 +30,24 @@ int main() {
               g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
               opt.depth, opt.leaf_size);
 
-  core::SluggerConfig config;
-  config.iterations = 30;
-  config.seed = 99;
-  core::SluggerResult result = core::Summarize(g, config);
-  std::printf("summary: %s\n", result.stats.ToString().c_str());
+  EngineOptions options;
+  options.config.iterations = 30;
+  options.config.seed = 99;
+  Engine engine(options);
+  StatusOr<CompressedGraph> compressed = engine.Summarize(g);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedGraph& cg = compressed.value();
+  std::printf("summary: %s\n", cg.stats().ToString().c_str());
   std::printf("relative size: %.3f\n\n",
-              result.stats.RelativeSize(g.num_edges()));
+              cg.stats().RelativeSize(g.num_edges()));
 
-  // Depth histogram of the recovered forest.
-  const summary::HierarchyForest& forest = result.summary.forest();
+  // Depth histogram of the recovered forest (read-only introspection of
+  // the internal layer through the facade's summary() accessor).
+  const summary::HierarchyForest& forest = cg.summary().forest();
   std::map<uint32_t, uint32_t> depth_histogram;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     uint32_t depth = 0;

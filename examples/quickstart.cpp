@@ -1,14 +1,14 @@
-// Quickstart: summarize a synthetic graph, inspect the result, verify
-// losslessness, and query neighbors directly on the summary.
+// Quickstart for the service-grade facade: build a slugger::Engine,
+// summarize a synthetic graph with per-iteration progress reporting,
+// inspect the resulting slugger::CompressedGraph, verify losslessness,
+// and query neighbors directly on the compressed form.
 //
-// Build & run:   ./build/examples/quickstart [num_nodes]
+// Build & run:   ./build/example_quickstart [leaf_size]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/slugger.hpp"
+#include "api/engine.hpp"
 #include "gen/generators.hpp"
-#include "summary/neighbor_query.hpp"
-#include "summary/verify.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -28,30 +28,49 @@ int main(int argc, char** argv) {
   std::printf("input: %u nodes, %llu edges\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()));
 
-  // 2. Summarize with the paper's default settings (T = 20).
-  core::SluggerConfig config;
-  config.iterations = 20;
-  config.seed = 42;
+  // 2. One Engine per service, reused across runs; options are validated
+  //    up front (an invalid config surfaces as InvalidArgument, never an
+  //    assert). Settings follow the paper (T = 20).
+  EngineOptions options;
+  options.config.iterations = 20;
+  options.config.seed = 42;
+  Engine engine(options);
+
+  // 3. Summarize with a per-iteration progress callback (a service would
+  //    also pass RunOptions::cancel to stop long runs cooperatively).
+  RunOptions run;
+  run.progress = [](const ProgressEvent& e) {
+    std::printf("  iteration %2u/%u: %llu merges, cost=%llu (%.2fs)\n",
+                e.iteration, e.total_iterations,
+                static_cast<unsigned long long>(e.merges),
+                static_cast<unsigned long long>(e.p_count + e.n_count +
+                                                e.h_count),
+                e.elapsed_seconds);
+  };
   WallTimer timer;
-  core::SluggerResult result = core::Summarize(g, config);
-  std::printf("summarized in %.2fs (merge %.2fs, prune %.2fs), %llu merges\n",
-              timer.Seconds(), result.merge_seconds, result.prune_seconds,
-              static_cast<unsigned long long>(result.merges));
+  StatusOr<CompressedGraph> compressed = engine.Summarize(g, run);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedGraph& cg = compressed.value();
+  std::printf("summarized in %.2fs\n", timer.Seconds());
 
-  // 3. Inspect: encoding cost and composition (Eq. 1 / Eq. 10).
-  const summary::SummaryStats& stats = result.stats;
-  std::printf("summary: %s\n", stats.ToString().c_str());
+  // 4. Inspect: encoding cost and composition (Eq. 1 / Eq. 10).
+  std::printf("summary: %s\n", cg.stats().ToString().c_str());
   std::printf("relative size (cost/|E|): %.4f\n",
-              stats.RelativeSize(g.num_edges()));
+              cg.stats().RelativeSize(g.num_edges()));
 
-  // 4. Losslessness is guaranteed; verify explicitly.
-  Status ok = summary::VerifyLossless(g, result.summary);
+  // 5. Losslessness is guaranteed; verify explicitly.
+  Status ok = cg.Verify(g);
   std::printf("lossless check: %s\n", ok.ToString().c_str());
 
-  // 5. Query neighbors straight off the compressed form (Algorithm 4).
-  summary::NeighborQuery query(result.summary);
+  // 6. Query straight off the compressed form (Algorithm 4). Concurrent
+  //    readers each bring their own QueryScratch.
+  QueryScratch scratch;
   NodeId probe = g.num_nodes() / 2;
   std::printf("node %u has %zu neighbors (via partial decompression)\n",
-              probe, query.Neighbors(probe).size());
+              probe, cg.Neighbors(probe, &scratch).size());
   return ok.ok() ? 0 : 1;
 }

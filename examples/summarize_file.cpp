@@ -1,5 +1,6 @@
 // Command-line tool: summarize an edge-list file, save/load the binary
-// summary, and verify the round trip — the end-to-end production flow.
+// summary through slugger::CompressedGraph, and verify the round trip —
+// the end-to-end production flow on the facade.
 //
 // Usage:
 //   ./build/examples/summarize_file <edges.txt> <out.summary> [iterations]
@@ -8,11 +9,9 @@
 #include <cstdlib>
 #include <string>
 
-#include "core/slugger.hpp"
+#include "api/engine.hpp"
 #include "gen/generators.hpp"
 #include "graph/graph_io.hpp"
-#include "summary/serialize.hpp"
-#include "summary/verify.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -52,29 +51,39 @@ int main(int argc, char** argv) {
   std::printf("input: %u nodes, %llu edges\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()));
 
-  core::SluggerConfig config;
-  config.iterations = iterations;
+  EngineOptions options;
+  options.config.iterations = iterations;
+  Engine engine(options);
+
   WallTimer timer;
-  core::SluggerResult result = core::Summarize(g, config);
+  StatusOr<CompressedGraph> compressed = engine.Summarize(g);
+  if (!compressed.ok()) {
+    // e.g. iterations 0 from the command line: rejected up front with
+    // InvalidArgument instead of failing deep inside the core layer.
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedGraph& cg = compressed.value();
   std::printf("summarized in %.2fs: cost=%llu (%.1f%% of |E|)\n",
               timer.Seconds(),
-              static_cast<unsigned long long>(result.stats.cost),
-              100.0 * result.stats.RelativeSize(g.num_edges()));
+              static_cast<unsigned long long>(cg.stats().cost),
+              100.0 * cg.stats().RelativeSize(g.num_edges()));
 
-  Status saved = summary::SaveSummary(result.summary, out_path);
+  Status saved = cg.Save(out_path);
   if (!saved.ok()) {
     std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
     return 1;
   }
   std::printf("summary written to %s\n", out_path.c_str());
 
-  auto reloaded = summary::LoadSummary(out_path);
+  StatusOr<CompressedGraph> reloaded = CompressedGraph::Load(out_path);
   if (!reloaded.ok()) {
     std::fprintf(stderr, "reload failed: %s\n",
                  reloaded.status().ToString().c_str());
     return 1;
   }
-  Status lossless = summary::VerifyLossless(g, reloaded.value());
+  Status lossless = reloaded.value().Verify(g);
   std::printf("reload + lossless verification: %s\n",
               lossless.ToString().c_str());
   return lossless.ok() ? 0 : 1;

@@ -1,0 +1,79 @@
+#include "api/compressed_graph.hpp"
+
+#include <utility>
+
+#include "summary/decode.hpp"
+#include "summary/serialize.hpp"
+#include "summary/verify.hpp"
+
+namespace slugger {
+
+namespace {
+
+/// Backing store of the scratch-free query overloads. One scratch per
+/// thread serves every CompressedGraph: the coverage counters are all
+/// zero between queries, so switching summaries only ever grows the
+/// buffers.
+QueryScratch& ThreadLocalScratch() {
+  thread_local QueryScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+CompressedGraph::CompressedGraph(summary::SummaryGraph summary)
+    : summary_(std::move(summary)), stats_(summary::ComputeStats(summary_)) {}
+
+CompressedGraph::CompressedGraph(summary::SummaryGraph summary,
+                                 summary::SummaryStats stats)
+    : summary_(std::move(summary)), stats_(stats) {}
+
+const std::vector<NodeId>& CompressedGraph::Neighbors(
+    NodeId v, QueryScratch* scratch) const {
+  return summary::QueryNeighbors(summary_, v, scratch);
+}
+
+const std::vector<NodeId>& CompressedGraph::Neighbors(NodeId v) const {
+  return Neighbors(v, &ThreadLocalScratch());
+}
+
+size_t CompressedGraph::Degree(NodeId v, QueryScratch* scratch) const {
+  return summary::QueryDegree(summary_, v, scratch);
+}
+
+size_t CompressedGraph::Degree(NodeId v) const {
+  return Degree(v, &ThreadLocalScratch());
+}
+
+graph::Graph CompressedGraph::Decode(ThreadPool* pool) const {
+  return summary::Decode(summary_, pool);
+}
+
+Status CompressedGraph::Verify(const graph::Graph& expected,
+                               ThreadPool* pool) const {
+  return summary::VerifyLossless(expected, summary_, pool);
+}
+
+Status CompressedGraph::Save(const std::string& path) const {
+  return summary::SaveSummary(summary_, path);
+}
+
+StatusOr<CompressedGraph> CompressedGraph::Load(const std::string& path) {
+  StatusOr<summary::SummaryGraph> loaded = summary::LoadSummary(path);
+  if (!loaded.ok()) return loaded.status();
+  return CompressedGraph(std::move(loaded).value());
+}
+
+std::string CompressedGraph::Serialize() const {
+  return summary::SerializeSummary(summary_);
+}
+
+StatusOr<CompressedGraph> CompressedGraph::Deserialize(
+    const std::string& buffer) {
+  StatusOr<summary::SummaryGraph> parsed =
+      summary::DeserializeSummary(buffer);
+  if (!parsed.ok()) return parsed.status();
+  return CompressedGraph(std::move(parsed).value());
+}
+
+}  // namespace slugger

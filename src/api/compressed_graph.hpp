@@ -1,0 +1,90 @@
+// slugger::CompressedGraph — the service-grade handle to one compressed
+// graph. Owns the summary and its statistics; everything a server needs
+// after (or instead of) running the Engine goes through this class:
+// neighbor/degree queries, full decode, losslessness verification, and
+// binary save/load.
+//
+// Thread-safety contract: after construction the summary is immutable.
+// All const members are safe to call from any number of threads
+// concurrently, PROVIDED each querying thread passes its own
+// QueryScratch (or uses the scratch-free overloads, which keep one
+// scratch per thread internally). Non-const operations (move-assign,
+// destruction) require external exclusion, as usual.
+#ifndef SLUGGER_API_COMPRESSED_GRAPH_HPP_
+#define SLUGGER_API_COMPRESSED_GRAPH_HPP_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "summary/neighbor_query.hpp"
+#include "summary/stats.hpp"
+#include "summary/summary_graph.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace slugger {
+
+class ThreadPool;
+
+/// Re-exported so facade users never include summary headers directly.
+using QueryScratch = summary::QueryScratch;
+
+class CompressedGraph {
+ public:
+  /// Empty handle (0 nodes); useful only as a move-assign target.
+  CompressedGraph() = default;
+
+  /// Takes ownership of a summary and computes its statistics.
+  explicit CompressedGraph(summary::SummaryGraph summary);
+
+  /// Takes ownership of a summary with already-computed statistics.
+  CompressedGraph(summary::SummaryGraph summary, summary::SummaryStats stats);
+
+  /// Number of nodes of the represented (uncompressed) graph.
+  NodeId num_nodes() const { return summary_.num_leaves(); }
+
+  /// Size/composition statistics of the summary (Eq. 1 / Eq. 10).
+  const summary::SummaryStats& stats() const { return stats_; }
+
+  /// One-hop neighbors of v in the represented graph, in unspecified
+  /// order (paper Algorithm 4; never decompresses the whole graph). The
+  /// returned reference points into *scratch. Safe to call concurrently
+  /// from many threads, one scratch per thread.
+  const std::vector<NodeId>& Neighbors(NodeId v, QueryScratch* scratch) const;
+
+  /// Scratch-free convenience overload backed by a thread-local scratch;
+  /// the reference is valid until this thread's next query.
+  const std::vector<NodeId>& Neighbors(NodeId v) const;
+
+  /// Degree of v, via the count-only coverage pass (no neighbor list is
+  /// materialized). Same concurrency contract as Neighbors().
+  size_t Degree(NodeId v, QueryScratch* scratch) const;
+  size_t Degree(NodeId v) const;
+
+  /// Reconstructs the exact represented graph. With a pool,
+  /// reconstruction is parallel and byte-identical to the sequential one.
+  graph::Graph Decode(ThreadPool* pool = nullptr) const;
+
+  /// Checks that this summary losslessly represents `expected`.
+  Status Verify(const graph::Graph& expected, ThreadPool* pool = nullptr) const;
+
+  /// Binary round trip (varint format of summary/serialize.hpp).
+  Status Save(const std::string& path) const;
+  static StatusOr<CompressedGraph> Load(const std::string& path);
+  std::string Serialize() const;
+  static StatusOr<CompressedGraph> Deserialize(const std::string& buffer);
+
+  /// Read-only access to the internal layer, for advanced consumers
+  /// (summary-level algorithms in algs/, hierarchy introspection). The
+  /// returned summary must never be mutated while queries are in flight.
+  const summary::SummaryGraph& summary() const { return summary_; }
+
+ private:
+  summary::SummaryGraph summary_;
+  summary::SummaryStats stats_;
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_API_COMPRESSED_GRAPH_HPP_

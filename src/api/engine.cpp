@@ -1,0 +1,60 @@
+#include "api/engine.hpp"
+
+#include <string>
+#include <utility>
+
+namespace slugger {
+
+Status EngineOptions::Validate() const {
+  if (config.iterations == 0) {
+    return Status::InvalidArgument(
+        "iterations must be >= 1 (0 would produce the trivial identity "
+        "summary without ever running the merge phase)");
+  }
+  if (config.max_group_size < 2) {
+    return Status::InvalidArgument(
+        "max_group_size must be >= 2 (a candidate group needs at least "
+        "two supernodes to propose a merge); got " +
+        std::to_string(config.max_group_size));
+  }
+  if (config.engine > MergeEngine::kAsync) {
+    return Status::InvalidArgument(
+        "engine is not one of kAuto/kSequential/kRoundBased/kAsync");
+  }
+  return Status::OK();
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), options_status_(options_.Validate()) {
+  if (!options_status_.ok()) return;  // inert engine; Summarize reports it
+  const core::SluggerConfig& config = options_.config;
+  const unsigned threads = config.num_threads == 0
+                               ? ThreadPool::DefaultThreads()
+                               : config.num_threads;
+  // Same condition core::Summarize uses to build its own pool; creating it
+  // here once amortizes thread startup across every run of this Engine.
+  if (threads > 1 ||
+      core::ResolveEngine(config, threads) != MergeEngine::kSequential) {
+    pool_.emplace(threads);
+  }
+}
+
+StatusOr<CompressedGraph> Engine::Summarize(const graph::Graph& g,
+                                            const RunOptions& run) {
+  if (!options_status_.ok()) return options_status_;
+  if (g.num_nodes() > kMaxNodes) {
+    return Status::InvalidArgument(
+        "graph has " + std::to_string(g.num_nodes()) +
+        " nodes; the supernode id space supports at most " +
+        std::to_string(kMaxNodes) +
+        " (merging can allocate up to n - 1 fresh ids)");
+  }
+  core::SummarizeHooks hooks;
+  hooks.progress = run.progress;
+  hooks.cancel = run.cancel;
+  hooks.pool = pool();
+  core::SluggerResult result = core::Summarize(g, options_.config, hooks);
+  return CompressedGraph(std::move(result.summary), result.stats);
+}
+
+}  // namespace slugger

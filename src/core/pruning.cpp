@@ -442,6 +442,14 @@ PruneAblation PruneSummary(summary::SummaryGraph* summary,
   PruneAblation ablation;
   ablation.stage[0] = summary::ComputeStats(*summary);
   for (uint32_t round = 0; round < options.rounds; ++round) {
+    if (IsCancelled(options.cancel)) {
+      if (round == 0) {
+        // Cancelled before any pruning: the ablation snapshots degenerate
+        // to the pre-prune state so Table IV consumers still see totals.
+        for (int i = 1; i < 4; ++i) ablation.stage[i] = ablation.stage[0];
+      }
+      break;
+    }
     uint64_t changes = 0;
     if (options.enable_step1) {
       changes += pool ? PruneStep1Parallel(summary, pool) : PruneStep1(summary);

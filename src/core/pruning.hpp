@@ -23,6 +23,7 @@
 #include "graph/graph.hpp"
 #include "summary/stats.hpp"
 #include "summary/summary_graph.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace slugger::core {
@@ -35,6 +36,9 @@ struct PruneOptions {
   /// Non-null: run the parallel pruning path on this pool (any size).
   /// Null: the historical sequential path.
   ThreadPool* pool = nullptr;
+  /// Polled at round boundaries; a fired token skips the remaining rounds
+  /// (every substep is lossless, so the summary stays valid).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-substep snapshots of the first round, for the Table IV ablation.

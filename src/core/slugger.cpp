@@ -26,6 +26,13 @@ double MergingThreshold(uint32_t t, uint32_t total_iterations) {
   return 1.0 / (1.0 + static_cast<double>(t));
 }
 
+MergeEngine ResolveEngine(const SluggerConfig& config, unsigned threads) {
+  if (config.engine != MergeEngine::kAuto) return config.engine;
+  return threads <= 1          ? MergeEngine::kSequential
+         : config.deterministic ? MergeEngine::kRoundBased
+                                : MergeEngine::kAsync;
+}
+
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
@@ -98,11 +105,12 @@ void RunGroupsSequential(const SluggerState& state, MergePlanner& planner,
                          Rng& rng,
                          std::vector<std::vector<SupernodeId>>& groups,
                          double theta, uint32_t height_bound,
-                         SluggerResult* result) {
+                         const CancelToken* cancel, SluggerResult* result) {
   MergePlan plan;
   MergePlan best;
   for (std::vector<SupernodeId>& q : groups) {
     while (q.size() > 1) {
+      if (IsCancelled(cancel)) return;  // every commit leaves a lossless state
       SupernodeId a = PopRandom(q, rng);
       size_t best_idx = ScanPartners(state, planner, q, a, height_bound,
                                      &plan, &best, &result->evaluations);
@@ -125,7 +133,8 @@ void RunGroupsDeterministic(
     const SluggerState& state,
     std::vector<std::unique_ptr<WorkerContext>>& workers, ThreadPool& pool,
     uint64_t seed, uint32_t t, std::vector<std::vector<SupernodeId>>& groups,
-    double theta, uint32_t height_bound, SluggerResult* result) {
+    double theta, uint32_t height_bound, const CancelToken* cancel,
+    SluggerResult* result) {
   struct GroupTask {
     std::vector<SupernodeId> q;
     Rng rng;
@@ -145,6 +154,9 @@ void RunGroupsDeterministic(
   std::atomic<uint64_t> evaluations{0};
   MergePlan commit_plan;
   while (!active.empty()) {
+    // Round boundary: all of this round's commits have applied, so the
+    // state is a consistent lossless summary — safe to stop here.
+    if (IsCancelled(cancel)) break;
     pool.Run(active.size(), [&](uint64_t task, unsigned worker) {
       GroupTask& gt = tasks[active[task]];
       WorkerContext& ctx = *workers[worker];
@@ -291,7 +303,7 @@ void RunGroupsAsync(SluggerState& state,
                     ThreadPool& pool, AsyncShared& shared, uint64_t seed,
                     uint32_t t, std::vector<std::vector<SupernodeId>>& groups,
                     double theta, uint32_t height_bound,
-                    SluggerResult* result) {
+                    const CancelToken* cancel, SluggerResult* result) {
   std::atomic<uint64_t> evaluations{0};
   std::atomic<uint64_t> merges{0};
 
@@ -304,6 +316,10 @@ void RunGroupsAsync(SluggerState& state,
     std::vector<uint32_t> want;
     std::vector<uint32_t> merged;
     while (q.size() > 1) {
+      // Outside the rooms every in-flight commit has fully applied, so
+      // bailing here leaves the shared state lossless; remaining groups
+      // drain the same way as their workers reach this check.
+      if (IsCancelled(cancel)) break;
       shared.rooms.Enter(kEvalRoom);
       SupernodeId a = PopRandom(q, rng);
       uint64_t seen_version =
@@ -347,24 +363,27 @@ void RunGroupsAsync(SluggerState& state,
 }  // namespace
 
 SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
+  return Summarize(g, config, SummarizeHooks{});
+}
+
+SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config,
+                        const SummarizeHooks& hooks) {
   SluggerResult result;
   WallTimer total_timer;
 
-  const unsigned threads = config.num_threads == 0
-                               ? ThreadPool::DefaultThreads()
-                               : config.num_threads;
+  // An external pool's size wins: the caller (e.g. slugger::Engine) sized
+  // it once for its whole lifetime.
+  const unsigned threads = hooks.pool != nullptr
+                               ? hooks.pool->size()
+                               : config.num_threads == 0
+                                     ? ThreadPool::DefaultThreads()
+                                     : config.num_threads;
   result.threads_used = threads;
 
-  // Resolve the engine: kAuto keeps the historical dispatch (sequential at
-  // one thread, then deterministic/async per the flag); an explicit engine
-  // wins, which lets the round-based engine run even at one thread (its
-  // output does not depend on the worker count at all).
-  MergeEngine engine = config.engine;
-  if (engine == MergeEngine::kAuto) {
-    engine = threads <= 1 ? MergeEngine::kSequential
-             : config.deterministic ? MergeEngine::kRoundBased
-                                    : MergeEngine::kAsync;
-  }
+  // Resolve the engine: kAuto keeps the historical dispatch (an explicit
+  // engine wins, which lets the round-based engine run even at one thread
+  // — its output does not depend on the worker count at all).
+  const MergeEngine engine = ResolveEngine(config, threads);
 
   SluggerState state(g);
   CandidateGenerator generator(g, config.seed, config.max_group_size,
@@ -372,14 +391,18 @@ SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
 
   // A pool exists whenever anything can use it: a parallel engine (even of
   // size 1 — same algorithm, inline execution) or spare worker threads for
-  // candidate generation and pruning under the sequential engine. Worker
-  // contexts (planner scratch is sized eagerly to the id bound) are built
-  // only for the engine that runs them.
-  std::optional<ThreadPool> pool;
+  // candidate generation and pruning under the sequential engine. A hook-
+  // supplied pool is borrowed instead of building one (amortizing thread
+  // startup across runs); either way the algorithms see the same pool
+  // semantics, so outputs are unchanged. Worker contexts (planner scratch
+  // is sized eagerly to the id bound) are built only for the engine that
+  // runs them.
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
   std::vector<std::unique_ptr<WorkerContext>> workers;
   std::optional<AsyncShared> async_shared;
   if (threads > 1 || engine != MergeEngine::kSequential) {
-    pool.emplace(threads);
+    pool = hooks.pool != nullptr ? hooks.pool : &owned_pool.emplace(threads);
   }
   if (engine != MergeEngine::kSequential) {
     workers.reserve(threads);
@@ -405,24 +428,28 @@ SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
   const uint32_t hb = config.max_height;  // 0 = unbounded
 
   for (uint32_t t = 1; t <= config.iterations; ++t) {
+    if (IsCancelled(hooks.cancel)) {
+      result.cancelled = true;
+      break;
+    }
     const double theta = MergingThreshold(t, config.iterations);
     WallTimer candidate_timer;
     std::vector<std::vector<SupernodeId>> groups =
-        generator.Generate(state, t, pool ? &*pool : nullptr);
+        generator.Generate(state, t, pool);
     result.candidate_seconds += candidate_timer.Seconds();
 
     switch (engine) {
       case MergeEngine::kSequential:
         RunGroupsSequential(state, *seq_planner, seq_rng, groups, theta, hb,
-                            &result);
+                            hooks.cancel, &result);
         break;
       case MergeEngine::kRoundBased:
         RunGroupsDeterministic(state, workers, *pool, config.seed, t, groups,
-                               theta, hb, &result);
+                               theta, hb, hooks.cancel, &result);
         break;
       case MergeEngine::kAsync:
         RunGroupsAsync(state, workers, *pool, *async_shared, config.seed, t,
-                       groups, theta, hb, &result);
+                       groups, theta, hb, hooks.cancel, &result);
         break;
       case MergeEngine::kAuto:
         break;  // resolved above; unreachable
@@ -430,6 +457,25 @@ SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
     if (config.check_aggregates) {
       result.aggregates_valid =
           result.aggregates_valid && state.ValidateAggregates();
+    }
+    if (IsCancelled(hooks.cancel)) {
+      // The engine bailed mid-iteration; the state is lossless but the
+      // iteration is partial, so no progress event fires for it.
+      result.cancelled = true;
+      break;
+    }
+    result.iterations_completed = t;
+    if (hooks.progress) {
+      const summary::SummaryGraph& s = state.summary();
+      ProgressEvent event;
+      event.iteration = t;
+      event.total_iterations = config.iterations;
+      event.merges = result.merges;
+      event.p_count = s.p_count();
+      event.n_count = s.n_count();
+      event.h_count = s.h_count();
+      event.elapsed_seconds = total_timer.Seconds();
+      hooks.progress(event);
     }
   }
   result.merge_seconds = total_timer.Seconds();
@@ -442,9 +488,11 @@ SluggerResult Summarize(const graph::Graph& g, const SluggerConfig& config) {
   popt.enable_step1 = config.prune_step1;
   popt.enable_step2 = config.prune_step2;
   popt.enable_step3 = config.prune_step3;
-  popt.pool = (pool && config.parallel_pruning) ? &*pool : nullptr;
+  popt.pool = config.parallel_pruning ? pool : nullptr;
+  popt.cancel = hooks.cancel;
   if (config.pruning_rounds > 0) {
     result.prune_ablation = PruneSummary(&state.summary(), g, popt);
+    result.cancelled = result.cancelled || IsCancelled(hooks.cancel);
   } else {
     result.prune_ablation.stage[0] = summary::ComputeStats(state.summary());
     for (int i = 1; i < 4; ++i) {

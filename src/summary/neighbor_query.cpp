@@ -2,33 +2,55 @@
 
 namespace slugger::summary {
 
-NeighborQuery::NeighborQuery(const SummaryGraph& summary) : summary_(summary) {
-  count_.assign(summary.num_leaves(), 0);
-}
+namespace {
 
-const std::vector<NodeId>& NeighborQuery::Neighbors(NodeId v) {
-  const HierarchyForest& forest = summary_.forest();
-  result_.clear();
-
-  // Walk the ancestor chain of v (including the leaf {v} itself); apply
-  // each incident superedge's coverage to the per-subnode counters.
+/// The shared coverage pass of Algorithm 4: walks the ancestor chain of v
+/// (including the leaf {v} itself) and applies each incident superedge's
+/// signed coverage to scratch->count, recording touched subnodes. Reads
+/// only the summary (via the caller-owned traversal stack), so concurrent
+/// invocations with distinct scratches are race-free.
+void AccumulateCoverage(const SummaryGraph& summary, NodeId v,
+                        QueryScratch* scratch) {
+  if (scratch->count.size() < summary.num_leaves()) {
+    scratch->count.resize(summary.num_leaves(), 0);
+  }
+  const HierarchyForest& forest = summary.forest();
   SupernodeId node = v;
   while (node != kInvalidId) {
-    summary_.ForEachEdgeOf(node, [&](SupernodeId other, EdgeSign sign) {
-      forest.ForEachLeaf(other, [&](NodeId u) {
-        if (count_[u] == 0 && sign != 0) touched_.push_back(u);
-        count_[u] += sign;
+    summary.ForEachEdgeOf(node, [&](SupernodeId other, EdgeSign sign) {
+      forest.ForEachLeafWith(&scratch->stack, other, [&](NodeId u) {
+        if (scratch->count[u] == 0 && sign != 0) scratch->touched.push_back(u);
+        scratch->count[u] += sign;
       });
     });
     node = forest.Parent(node);
   }
+}
 
-  for (NodeId u : touched_) {
-    if (count_[u] > 0 && u != v) result_.push_back(u);
-    count_[u] = 0;
+}  // namespace
+
+const std::vector<NodeId>& QueryNeighbors(const SummaryGraph& summary,
+                                          NodeId v, QueryScratch* scratch) {
+  AccumulateCoverage(summary, v, scratch);
+  scratch->result.clear();
+  for (NodeId u : scratch->touched) {
+    if (scratch->count[u] > 0 && u != v) scratch->result.push_back(u);
+    scratch->count[u] = 0;
   }
-  touched_.clear();
-  return result_;
+  scratch->touched.clear();
+  return scratch->result;
+}
+
+size_t QueryDegree(const SummaryGraph& summary, NodeId v,
+                   QueryScratch* scratch) {
+  AccumulateCoverage(summary, v, scratch);
+  size_t degree = 0;
+  for (NodeId u : scratch->touched) {
+    degree += scratch->count[u] > 0 && u != v;
+    scratch->count[u] = 0;
+  }
+  scratch->touched.clear();
+  return degree;
 }
 
 }  // namespace slugger::summary

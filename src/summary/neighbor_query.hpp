@@ -1,5 +1,11 @@
 // Partial decompression: neighbor retrieval directly on a summary
 // (paper Algorithm 4) without reconstructing the whole graph.
+//
+// The query state is split so a service can serve concurrent readers:
+// the SummaryGraph is the immutable shared index, and ALL mutable
+// per-query state lives in a QueryScratch the caller owns. Any number of
+// threads may call QueryNeighbors / QueryDegree on the same summary
+// simultaneously as long as each brings its own scratch.
 #ifndef SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
 #define SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
 
@@ -10,26 +16,48 @@
 
 namespace slugger::summary {
 
-/// Reusable neighbor-query engine over a fixed summary. Not thread-safe
-/// (keeps per-query scratch buffers to stay allocation-free after warmup).
+/// Reusable per-caller (or per-thread) query buffers. Stays allocation-
+/// free after warmup; automatically grows when reused across summaries of
+/// different sizes (the coverage counters are all zero between queries,
+/// so growth never observes stale state).
+struct QueryScratch {
+  std::vector<int32_t> count;        ///< per-subnode signed coverage
+  std::vector<NodeId> touched;       ///< subnodes with nonzero entries
+  std::vector<NodeId> result;        ///< last Neighbors() answer
+  std::vector<SupernodeId> stack;    ///< leaf-traversal stack
+};
+
+/// One-hop neighbors of subnode v in the represented graph, in
+/// unspecified order; the returned reference points into *scratch and is
+/// valid until its next use. Implements Algorithm 4: walk v's ancestors,
+/// apply signed coverage of their superedges, keep subnodes with positive
+/// net. Thread-safe for concurrent callers with distinct scratches.
+const std::vector<NodeId>& QueryNeighbors(const SummaryGraph& summary,
+                                          NodeId v, QueryScratch* scratch);
+
+/// Degree of v (the size of QueryNeighbors(v)) without materializing the
+/// neighbor list — counts positive-net subnodes straight off the coverage
+/// pass. Thread-safe under the same contract as QueryNeighbors.
+size_t QueryDegree(const SummaryGraph& summary, NodeId v,
+                   QueryScratch* scratch);
+
+/// Convenience wrapper bundling a summary reference with one scratch.
+/// Not thread-safe (share the summary, not the NeighborQuery); concurrent
+/// readers should call QueryNeighbors/QueryDegree with their own scratch,
+/// or go through the slugger::CompressedGraph facade.
 class NeighborQuery {
  public:
-  explicit NeighborQuery(const SummaryGraph& summary);
+  explicit NeighborQuery(const SummaryGraph& summary) : summary_(summary) {}
 
-  /// One-hop neighbors of subnode v in the represented graph, in
-  /// unspecified order. Implements Algorithm 4: walk v's ancestors, apply
-  /// signed coverage of their superedges, keep subnodes with positive net.
-  const std::vector<NodeId>& Neighbors(NodeId v);
+  const std::vector<NodeId>& Neighbors(NodeId v) {
+    return QueryNeighbors(summary_, v, &scratch_);
+  }
 
-  /// Degree of v (size of Neighbors(v)).
-  size_t Degree(NodeId v) { return Neighbors(v).size(); }
+  size_t Degree(NodeId v) { return QueryDegree(summary_, v, &scratch_); }
 
  private:
   const SummaryGraph& summary_;
-  std::vector<int32_t> count_;       // per-subnode signed coverage
-  std::vector<NodeId> touched_;      // subnodes with nonzero entries
-  std::vector<NodeId> result_;
-  std::vector<NodeId> leaf_buffer_;
+  QueryScratch scratch_;
 };
 
 }  // namespace slugger::summary

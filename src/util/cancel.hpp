@@ -1,0 +1,46 @@
+// Cooperative cancellation: a one-way flag a service thread fires and a
+// long-running computation polls at safe points.
+#ifndef SLUGGER_UTIL_CANCEL_HPP_
+#define SLUGGER_UTIL_CANCEL_HPP_
+
+#include <atomic>
+
+namespace slugger {
+
+/// One-shot cancellation flag shared between the thread driving a
+/// long-running call and any thread that wants to stop it. Firing is
+/// advisory: the computation polls `cancelled()` at boundaries where its
+/// state is consistent (SLUGGER's summary is lossless between merges, so
+/// a cancelled run still returns a valid best-so-far summary).
+///
+/// Thread-safe; a token may be reused across runs via Reset() as long as
+/// no run is in flight.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the token for a new run. Only call between runs.
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Null-tolerant poll, for call sites holding an optional token pointer.
+inline bool IsCancelled(const CancelToken* token) {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_CANCEL_HPP_
