@@ -1,0 +1,176 @@
+// Batched vs per-node neighbor-query throughput on one compressed graph
+// (ISSUE 4): how much does NeighborsBatch's ancestor-chain amortization
+// plus sharding buy over a plain Neighbors() loop?
+//
+// Compress an RMAT graph once, draw a fixed batch of random node ids,
+// then time three modes over the same batch:
+//   single          per-node Neighbors() loop, one thread (the baseline)
+//   batch           sequential NeighborsBatch (amortization only)
+//   batch@T         parallel NeighborsBatch over a T-worker pool
+// Checksums (summed result sizes) must agree across every mode. Results
+// go to stdout and to BENCH_batch_query.json; CI gates on the 4-thread
+// batch speedup staying >= 1.3x over the single-node loop
+// (bench/check_batch_query.py).
+//
+// Env knobs:
+//   SLUGGER_BENCH_BQ_SCALE     RMAT scale (default 14 -> 16384 nodes)
+//   SLUGGER_BENCH_BQ_EDGES     edge count (default 8 * num_nodes)
+//   SLUGGER_BENCH_BQ_BATCH     batch size (default 10000)
+//   SLUGGER_BENCH_BQ_REPS     repetitions per timed mode (default 20)
+//   SLUGGER_BENCH_THREAD_LIST  comma list of pool sizes (default 1,2,4,8)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "bench_env.hpp"
+#include "gen/generators.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using slugger::bench::EnvU64;
+using slugger::bench::ThreadList;
+
+struct Run {
+  std::string mode;
+  uint32_t threads;
+  double seconds;         ///< total over all reps
+  double queries_per_second;
+  uint64_t checksum;      ///< summed neighbor counts; equal across modes
+};
+
+}  // namespace
+
+int main() {
+  using namespace slugger;
+
+  const uint32_t scale =
+      static_cast<uint32_t>(EnvU64("SLUGGER_BENCH_BQ_SCALE", 14));
+  const uint64_t num_nodes = 1ull << scale;
+  const uint64_t edges = EnvU64("SLUGGER_BENCH_BQ_EDGES", 8 * num_nodes);
+  const uint64_t batch_size = EnvU64("SLUGGER_BENCH_BQ_BATCH", 10000);
+  const uint64_t reps = EnvU64("SLUGGER_BENCH_BQ_REPS", 20);
+  std::vector<uint32_t> thread_list = ThreadList();
+
+  std::printf("=== batched vs single neighbor queries ===\n");
+  std::printf("rmat scale=%u nodes=%llu edges=%llu batch=%llu reps=%llu\n\n",
+              scale, static_cast<unsigned long long>(num_nodes),
+              static_cast<unsigned long long>(edges),
+              static_cast<unsigned long long>(batch_size),
+              static_cast<unsigned long long>(reps));
+
+  graph::Graph g = gen::RMat(scale, edges, 0.57, 0.19, 0.19, /*seed=*/7);
+
+  EngineOptions options;
+  options.config.iterations = 20;
+  options.config.seed = 7;
+  Engine engine(options);
+  WallTimer compress_timer;
+  StatusOr<CompressedGraph> compressed = engine.Summarize(g);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedGraph& cg = compressed.value();
+  std::printf("compressed once in %.2fs: cost=%llu (%.1f%% of |E|)\n\n",
+              compress_timer.Seconds(),
+              static_cast<unsigned long long>(cg.stats().cost),
+              100.0 * cg.stats().RelativeSize(g.num_edges()));
+
+  Rng rng(0xBA7C4);
+  std::vector<NodeId> batch(batch_size);
+  for (NodeId& v : batch) {
+    v = static_cast<NodeId>(rng.Below(cg.num_nodes()));
+  }
+
+  const double total_queries =
+      static_cast<double>(batch_size) * static_cast<double>(reps);
+  std::vector<Run> runs;
+
+  {  // Baseline: the per-node loop every service would write first.
+    QueryScratch scratch;
+    uint64_t checksum = 0;
+    WallTimer timer;
+    for (uint64_t rep = 0; rep < reps; ++rep) {
+      checksum = 0;
+      for (NodeId v : batch) checksum += cg.Neighbors(v, &scratch).size();
+    }
+    runs.push_back({"single", 1, timer.Seconds(),
+                    total_queries / timer.Seconds(), checksum});
+  }
+
+  {  // Sequential batch: amortization only, no extra threads.
+    BatchScratch scratch;
+    BatchResult result;
+    uint64_t checksum = 0;
+    WallTimer timer;
+    for (uint64_t rep = 0; rep < reps; ++rep) {
+      if (!cg.NeighborsBatch(batch, &result, &scratch).ok()) return 1;
+      checksum = result.neighbors.size();
+    }
+    runs.push_back({"batch", 1, timer.Seconds(),
+                    total_queries / timer.Seconds(), checksum});
+  }
+
+  for (uint32_t t : thread_list) {
+    if (t <= 1) continue;  // covered by the sequential batch run
+    ThreadPool pool(t);
+    BatchResult result;
+    uint64_t checksum = 0;
+    WallTimer timer;
+    for (uint64_t rep = 0; rep < reps; ++rep) {
+      if (!cg.NeighborsBatch(batch, &result, &pool).ok()) return 1;
+      checksum = result.neighbors.size();
+    }
+    runs.push_back({"batch", t, timer.Seconds(),
+                    total_queries / timer.Seconds(), checksum});
+  }
+
+  const Run& baseline = runs.front();
+  bool checksums_agree = true;
+  std::printf("%-10s %-8s %10s %14s %10s\n", "mode", "threads", "seconds",
+              "queries/s", "speedup");
+  for (const Run& r : runs) {
+    std::printf("%-10s %-8u %10.3f %14.0f %9.2fx\n", r.mode.c_str(),
+                r.threads, r.seconds, r.queries_per_second,
+                r.queries_per_second / baseline.queries_per_second);
+    checksums_agree = checksums_agree && r.checksum == baseline.checksum;
+  }
+  if (!checksums_agree) {
+    std::fprintf(stderr, "FAIL: checksums diverged across modes\n");
+    return 1;
+  }
+
+  std::string json =
+      "{\"bench\":\"batch_query\",\"graph\":\"rmat\",\"scale\":" +
+      std::to_string(scale) + ",\"nodes\":" + std::to_string(g.num_nodes()) +
+      ",\"edges\":" + std::to_string(g.num_edges()) +
+      ",\"batch\":" + std::to_string(batch_size) +
+      ",\"reps\":" + std::to_string(reps) +
+      ",\"cost\":" + std::to_string(cg.stats().cost) + ",\"runs\":[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"mode\":\"%s\",\"threads\":%u,\"seconds\":%.6f,"
+                  "\"queries_per_second\":%.1f,\"speedup_vs_single\":%.4f}",
+                  i == 0 ? "" : ",", r.mode.c_str(), r.threads, r.seconds,
+                  r.queries_per_second,
+                  r.queries_per_second / baseline.queries_per_second);
+    json += buf;
+  }
+  json += "]}";
+
+  std::printf("\n%s\n", json.c_str());
+  FILE* f = std::fopen("BENCH_batch_query.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_batch_query.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared env-knob parsing for the scaling benches (bench_threads,
+// bench_prune_verify_threads, bench_query_throughput, bench_batch_query).
+// Built on the checked parsers of util/parse.hpp: a malformed knob falls
+// back to the default (or is dropped from a list) instead of silently
+// becoming atoi's zero.
+#ifndef SLUGGER_BENCH_BENCH_ENV_HPP_
+#define SLUGGER_BENCH_BENCH_ENV_HPP_
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/parse.hpp"
+
+namespace slugger::bench {
+
+/// Value of env var `name`, or `fallback` when unset, unparsable, or 0.
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  std::optional<uint64_t> v = ParseUint64(env);
+  return v.has_value() && *v > 0 ? *v : fallback;
+}
+
+/// SLUGGER_BENCH_THREAD_LIST as worker counts (default 1,2,4,8).
+inline std::vector<uint32_t> ThreadList() {
+  const char* env = std::getenv("SLUGGER_BENCH_THREAD_LIST");
+  const std::string spec = env != nullptr ? env : "1,2,4,8";
+  std::vector<uint32_t> list;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::optional<uint32_t> v =
+        ParseUint32(spec.substr(pos, comma - pos).c_str());
+    if (v.has_value() && *v >= 1) list.push_back(*v);
+    pos = comma + 1;
+  }
+  if (list.empty()) list = {1, 2, 4, 8};
+  return list;
+}
+
+}  // namespace slugger::bench
+
+#endif  // SLUGGER_BENCH_BENCH_ENV_HPP_

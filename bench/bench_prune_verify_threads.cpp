@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.hpp"
 #include "core/pruning.hpp"
 #include "core/slugger.hpp"
 #include "gen/generators.hpp"
@@ -28,29 +29,8 @@
 
 namespace {
 
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return fallback;
-  char* end = nullptr;
-  uint64_t v = std::strtoull(env, &end, 10);
-  return end != env && v > 0 ? v : fallback;
-}
-
-std::vector<uint32_t> ThreadList() {
-  const char* env = std::getenv("SLUGGER_BENCH_THREAD_LIST");
-  std::string spec = env != nullptr ? env : "1,2,4,8";
-  std::vector<uint32_t> list;
-  size_t pos = 0;
-  while (pos < spec.size()) {
-    size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    int v = std::atoi(spec.substr(pos, comma - pos).c_str());
-    if (v >= 1) list.push_back(static_cast<uint32_t>(v));
-    pos = comma + 1;
-  }
-  if (list.empty()) list = {1, 2, 4, 8};
-  return list;
-}
+using slugger::bench::EnvU64;
+using slugger::bench::ThreadList;
 
 struct Run {
   uint32_t threads;

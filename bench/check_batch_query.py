@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI smoke gate for batched-query throughput regressions.
+
+Reads the JSON emitted by bench_batch_query (BENCH_batch_query.json) and
+fails when the parallel NeighborsBatch run at a given pool size stops
+beating the per-node Neighbors() loop by the required factor. Meant for
+smoke-scale CI runs, so the default threshold (1.3x at 4 threads) leaves
+ample headroom over what dedicated hardware shows.
+
+Usage:
+    check_batch_query.py [BENCH_batch_query.json]
+        [--threads N] [--min-speedup X] [--min-single-seconds S]
+
+Exit codes: 0 pass, 1 regression, 2 bad input. If the single-node
+baseline ran faster than --min-single-seconds, the gate passes with a
+notice instead of judging noise-dominated timings.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", default="BENCH_batch_query.json")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="pool size whose batch speedup is gated")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="minimum acceptable speedup over the "
+                             "single-node query loop")
+    parser.add_argument("--min-single-seconds", type=float, default=0.2,
+                        help="skip the gate when the single-node baseline "
+                             "is shorter than this (timing noise)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {args.report}: {err}", file=sys.stderr)
+        return 2
+
+    runs = report.get("runs", [])
+    single = next((r for r in runs if r.get("mode") == "single"), None)
+    batch = next((r for r in runs if r.get("mode") == "batch"
+                  and r.get("threads") == args.threads), None)
+    if single is None or batch is None:
+        print(f"error: need a 'single' run and a 'batch' run at "
+              f"{args.threads} threads in {args.report}", file=sys.stderr)
+        return 2
+
+    cores = os.cpu_count() or 1
+    if cores < args.threads:
+        print(f"SKIP: only {cores} core(s) available; cannot judge a "
+              f"{args.threads}-thread batch speedup")
+        return 0
+
+    if single["seconds"] < args.min_single_seconds:
+        print(f"SKIP: single-node baseline took only "
+              f"{single['seconds']:.3f}s (< {args.min_single_seconds}s); "
+              f"too noisy to gate")
+        return 0
+
+    speedup = (batch["queries_per_second"] / single["queries_per_second"]
+               if single["queries_per_second"] > 0 else float("inf"))
+    verdict = "PASS" if speedup >= args.min_speedup else "FAIL"
+    print(f"{verdict}: batch-query speedup at {args.threads} threads = "
+          f"{speedup:.2f}x over the single-node loop "
+          f"(threshold {args.min_speedup}x)")
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

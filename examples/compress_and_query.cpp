@@ -5,12 +5,13 @@
 //
 // Build & run:   ./build/examples/compress_and_query [num_nodes]
 #include <cstdio>
-#include <cstdlib>
+#include <optional>
 
 #include "algs/bfs.hpp"
 #include "algs/pagerank.hpp"
 #include "api/engine.hpp"
 #include "gen/generators.hpp"
+#include "util/parse.hpp"
 #include "util/random.hpp"
 #include "util/timer.hpp"
 
@@ -22,12 +23,13 @@ int main(int argc, char** argv) {
   // README "Quickstart" and "API" sections for the serving pattern).
   NodeId nodes = 30000;
   if (argc > 1) {
-    int parsed = std::atoi(argv[1]);
-    if (parsed < 1) {
-      std::fprintf(stderr, "usage: %s [num_nodes >= 1]\n", argv[0]);
+    std::optional<uint32_t> parsed = ParseUint32(argv[1]);
+    if (!parsed.has_value() || *parsed == 0) {
+      std::fprintf(stderr, "invalid node count '%s'\nusage: %s [num_nodes >= 1]\n",
+                   argv[1], argv[0]);
       return 2;
     }
-    nodes = static_cast<NodeId>(parsed);
+    nodes = *parsed;
   }
   graph::Graph g = gen::DuplicationDivergence(nodes, 3, 0.45, 0.7, 2024);
   std::printf("social graph: %u nodes, %llu edges\n", g.num_nodes(),

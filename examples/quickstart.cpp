@@ -5,10 +5,11 @@
 //
 // Build & run:   ./build/example_quickstart [leaf_size]
 #include <cstdio>
-#include <cstdlib>
+#include <optional>
 
 #include "api/engine.hpp"
 #include "gen/generators.hpp"
+#include "util/parse.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -19,7 +20,16 @@ int main(int argc, char** argv) {
   gen::PlantedHierarchyOptions opt;
   opt.branching = 4;
   opt.depth = 3;
-  opt.leaf_size = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 12;
+  opt.leaf_size = 12;
+  if (argc > 1) {
+    std::optional<uint32_t> parsed = ParseUint32(argv[1]);
+    if (!parsed.has_value() || *parsed == 0) {
+      std::fprintf(stderr, "invalid leaf size '%s'\nusage: %s [leaf_size >= 1]\n",
+                   argv[1], argv[0]);
+      return 2;
+    }
+    opt.leaf_size = *parsed;
+  }
   opt.leaf_density = 0.9;
   opt.pair_link_prob = 0.5;
   opt.pair_link_decay = 0.08;

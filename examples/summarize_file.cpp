@@ -6,12 +6,13 @@
 //   ./build/examples/summarize_file <edges.txt> <out.summary> [iterations]
 //   ./build/examples/summarize_file --demo          (self-contained demo)
 #include <cstdio>
-#include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "api/engine.hpp"
 #include "gen/generators.hpp"
 #include "graph/graph_io.hpp"
+#include "util/parse.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -24,9 +25,20 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) != "--demo") {
     if (argc < 3) {
       std::fprintf(stderr,
-                   "usage: %s <edges.txt> <out.summary> [iterations]\n",
+                   "usage: %s <edges.txt> <out.summary> [iterations >= 1]\n",
                    argv[0]);
       return 2;
+    }
+    if (argc >= 4) {
+      std::optional<uint32_t> parsed = ParseUint32(argv[3]);
+      if (!parsed.has_value() || *parsed == 0) {
+        std::fprintf(stderr,
+                     "invalid iteration count '%s'\n"
+                     "usage: %s <edges.txt> <out.summary> [iterations >= 1]\n",
+                     argv[3], argv[0]);
+        return 2;
+      }
+      iterations = *parsed;
     }
     auto loaded = graph::LoadEdgeListText(argv[1]);
     if (!loaded.ok()) {
@@ -36,7 +48,6 @@ int main(int argc, char** argv) {
     }
     g = std::move(loaded).value();
     out_path = argv[2];
-    if (argc >= 4) iterations = static_cast<uint32_t>(std::atoi(argv[3]));
   } else {
     std::printf("no input given; running the built-in demo workload\n");
     gen::PlantedHierarchyOptions opt;

@@ -1,10 +1,14 @@
 #include "api/compressed_graph.hpp"
 
+#include <algorithm>
+#include <numeric>
+#include <string>
 #include <utility>
 
 #include "summary/decode.hpp"
 #include "summary/serialize.hpp"
 #include "summary/verify.hpp"
+#include "util/thread_pool.hpp"
 
 namespace slugger {
 
@@ -19,17 +23,73 @@ QueryScratch& ThreadLocalScratch() {
   return scratch;
 }
 
+/// Same lifecycle for the batched path; pool workers persist across jobs,
+/// so each one warms up exactly one of these.
+BatchScratch& ThreadLocalBatchScratch() {
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+/// Below this size the per-shard sort/stitch overhead beats the win from
+/// parallelism; the parallel overloads fall back to the sequential path.
+constexpr size_t kMinParallelBatch = 256;
+
+/// Coordinator prologue of the parallel batch overloads: the batch
+/// positions sorted by the cached leaf rank (same order ComputeBatchOrder
+/// derives, but rank-only — no ancestor chains are materialized; each
+/// shard rebuilds exactly the chains of its own slice) plus the node list
+/// in that order.
+void SortBatchByRank(std::span<const NodeId> nodes,
+                     const std::vector<uint32_t>& leaf_rank,
+                     std::vector<uint32_t>* order,
+                     std::vector<NodeId>* sorted_nodes) {
+  const size_t batch = nodes.size();
+  order->resize(batch);
+  std::iota(order->begin(), order->end(), 0u);
+  std::sort(order->begin(), order->end(),
+            [&leaf_rank, nodes](uint32_t a, uint32_t b) {
+              const uint32_t ra = leaf_rank[nodes[a]];
+              const uint32_t rb = leaf_rank[nodes[b]];
+              if (ra != rb) return ra < rb;
+              return a < b;
+            });
+  sorted_nodes->resize(batch);
+  for (size_t k = 0; k < batch; ++k) {
+    (*sorted_nodes)[k] = nodes[(*order)[k]];
+  }
+}
+
+/// Contiguous slice of the sorted batch owned by one shard.
+struct ShardRange {
+  size_t begin;
+  size_t end;
+};
+ShardRange ShardBounds(size_t batch, size_t shard, size_t shards) {
+  return {batch * shard / shards, batch * (shard + 1) / shards};
+}
+
 }  // namespace
 
 CompressedGraph::CompressedGraph(summary::SummaryGraph summary)
-    : summary_(std::move(summary)), stats_(summary::ComputeStats(summary_)) {}
+    : summary_(std::move(summary)),
+      stats_(summary::ComputeStats(summary_)),
+      leaf_rank_(summary_.forest().ComputeLeafPreorder()) {}
 
 CompressedGraph::CompressedGraph(summary::SummaryGraph summary,
                                  summary::SummaryStats stats)
-    : summary_(std::move(summary)), stats_(stats) {}
+    : summary_(std::move(summary)),
+      stats_(stats),
+      leaf_rank_(summary_.forest().ComputeLeafPreorder()) {}
 
 const std::vector<NodeId>& CompressedGraph::Neighbors(
     NodeId v, QueryScratch* scratch) const {
+  if (v >= summary_.num_leaves()) {
+    // The core query path asserts v is in range (walking ForEachEdgeOf on
+    // an arbitrary id is undefined behavior); the facade absorbs hostile
+    // ids here instead.
+    scratch->result.clear();
+    return scratch->result;
+  }
   return summary::QueryNeighbors(summary_, v, scratch);
 }
 
@@ -38,11 +98,139 @@ const std::vector<NodeId>& CompressedGraph::Neighbors(NodeId v) const {
 }
 
 size_t CompressedGraph::Degree(NodeId v, QueryScratch* scratch) const {
+  if (v >= summary_.num_leaves()) return 0;
   return summary::QueryDegree(summary_, v, scratch);
 }
 
 size_t CompressedGraph::Degree(NodeId v) const {
   return Degree(v, &ThreadLocalScratch());
+}
+
+Status CompressedGraph::ValidateBatch(std::span<const NodeId> nodes) const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= summary_.num_leaves()) {
+      return Status::InvalidArgument(
+          "batch node id " + std::to_string(nodes[i]) + " at position " +
+          std::to_string(i) + " is out of range (graph has " +
+          std::to_string(summary_.num_leaves()) + " nodes)");
+    }
+  }
+  return Status::OK();
+}
+
+Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
+                                       BatchResult* out,
+                                       BatchScratch* scratch) const {
+  Status valid = ValidateBatch(nodes);
+  if (!valid.ok()) return valid;
+  summary::QueryNeighborsBatch(summary_, nodes, out, scratch, &leaf_rank_);
+  return Status::OK();
+}
+
+Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
+                                       BatchResult* out) const {
+  return NeighborsBatch(nodes, out, &ThreadLocalBatchScratch());
+}
+
+Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
+                                       BatchResult* out,
+                                       ThreadPool* pool) const {
+  if (pool == nullptr || pool->size() <= 1 ||
+      nodes.size() < kMinParallelBatch) {
+    return NeighborsBatch(nodes, out);
+  }
+  Status valid = ValidateBatch(nodes);
+  if (!valid.ok()) return valid;
+
+  // Sort the whole batch by hierarchy locality once, then hand each
+  // worker a contiguous slice of the sorted order: shards keep the
+  // ancestor-chain amortization and re-sorting a presorted slice inside
+  // QueryNeighborsBatch is near-free.
+  const size_t batch = nodes.size();
+  std::vector<uint32_t> order;
+  std::vector<NodeId> sorted_nodes;
+  SortBatchByRank(nodes, leaf_rank_, &order, &sorted_nodes);
+
+  const size_t shards = pool->size();
+  std::vector<BatchResult> shard_results(shards);
+  pool->Run(shards, [&](uint64_t shard, unsigned) {
+    const ShardRange range = ShardBounds(batch, shard, shards);
+    summary::QueryNeighborsBatch(
+        summary_,
+        std::span<const NodeId>(sorted_nodes)
+            .subspan(range.begin, range.end - range.begin),
+        &shard_results[shard], &ThreadLocalBatchScratch(), &leaf_rank_);
+  });
+
+  // Stitch shard answers (sorted order) back into input order.
+  out->offsets.assign(batch + 1, 0);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const size_t begin = ShardBounds(batch, shard, shards).begin;
+    const BatchResult& r = shard_results[shard];
+    for (size_t k = 0; k < r.size(); ++k) {
+      out->offsets[order[begin + k] + 1] = r.offsets[k + 1] - r.offsets[k];
+    }
+  }
+  for (size_t i = 0; i < batch; ++i) out->offsets[i + 1] += out->offsets[i];
+  out->neighbors.resize(out->offsets[batch]);
+  for (size_t shard = 0; shard < shards; ++shard) {
+    const size_t begin = ShardBounds(batch, shard, shards).begin;
+    const BatchResult& r = shard_results[shard];
+    for (size_t k = 0; k < r.size(); ++k) {
+      std::span<const NodeId> src = r[k];
+      std::copy(src.begin(), src.end(),
+                out->neighbors.begin() + out->offsets[order[begin + k]]);
+    }
+  }
+  return Status::OK();
+}
+
+Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
+                                    std::vector<uint64_t>* degrees,
+                                    BatchScratch* scratch) const {
+  Status valid = ValidateBatch(nodes);
+  if (!valid.ok()) return valid;
+  summary::QueryDegreeBatch(summary_, nodes, degrees, scratch, &leaf_rank_);
+  return Status::OK();
+}
+
+Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
+                                    std::vector<uint64_t>* degrees) const {
+  return DegreeBatch(nodes, degrees, &ThreadLocalBatchScratch());
+}
+
+Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
+                                    std::vector<uint64_t>* degrees,
+                                    ThreadPool* pool) const {
+  if (pool == nullptr || pool->size() <= 1 ||
+      nodes.size() < kMinParallelBatch) {
+    return DegreeBatch(nodes, degrees);
+  }
+  Status valid = ValidateBatch(nodes);
+  if (!valid.ok()) return valid;
+
+  const size_t batch = nodes.size();
+  std::vector<uint32_t> order;
+  std::vector<NodeId> sorted_nodes;
+  SortBatchByRank(nodes, leaf_rank_, &order, &sorted_nodes);
+
+  degrees->assign(batch, 0);
+  const size_t shards = pool->size();
+  pool->Run(shards, [&](uint64_t shard, unsigned) {
+    const ShardRange range = ShardBounds(batch, shard, shards);
+    std::vector<uint64_t> local;
+    summary::QueryDegreeBatch(
+        summary_,
+        std::span<const NodeId>(sorted_nodes)
+            .subspan(range.begin, range.end - range.begin),
+        &local, &ThreadLocalBatchScratch(), &leaf_rank_);
+    // Shards own disjoint ranges of the order permutation, so these
+    // writes never alias across workers.
+    for (size_t k = 0; k < local.size(); ++k) {
+      (*degrees)[order[range.begin + k]] = local[k];
+    }
+  });
+  return Status::OK();
 }
 
 graph::Graph CompressedGraph::Decode(ThreadPool* pool) const {

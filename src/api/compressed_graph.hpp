@@ -13,6 +13,7 @@
 #ifndef SLUGGER_API_COMPRESSED_GRAPH_HPP_
 #define SLUGGER_API_COMPRESSED_GRAPH_HPP_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@ class ThreadPool;
 
 /// Re-exported so facade users never include summary headers directly.
 using QueryScratch = summary::QueryScratch;
+using BatchScratch = summary::BatchScratch;
+using BatchResult = summary::BatchResult;
 
 class CompressedGraph {
  public:
@@ -50,7 +53,10 @@ class CompressedGraph {
   /// One-hop neighbors of v in the represented graph, in unspecified
   /// order (paper Algorithm 4; never decompresses the whole graph). The
   /// returned reference points into *scratch. Safe to call concurrently
-  /// from many threads, one scratch per thread.
+  /// from many threads, one scratch per thread. An out-of-range v
+  /// (>= num_nodes()) yields an empty list — never undefined behavior;
+  /// callers that need the distinction should use NeighborsBatch, whose
+  /// Status reports out-of-range ids as InvalidArgument.
   const std::vector<NodeId>& Neighbors(NodeId v, QueryScratch* scratch) const;
 
   /// Scratch-free convenience overload backed by a thread-local scratch;
@@ -58,9 +64,41 @@ class CompressedGraph {
   const std::vector<NodeId>& Neighbors(NodeId v) const;
 
   /// Degree of v, via the count-only coverage pass (no neighbor list is
-  /// materialized). Same concurrency contract as Neighbors().
+  /// materialized). Same concurrency and bounds contract as Neighbors()
+  /// (out-of-range v yields 0).
   size_t Degree(NodeId v, QueryScratch* scratch) const;
   size_t Degree(NodeId v) const;
+
+  /// Batched Neighbors over a node list (duplicates allowed): answers
+  /// land in *out in input order. The batch is processed in hierarchy-
+  /// locality order so consecutive nodes reuse one coverage pass per
+  /// shared ancestor chain instead of re-walking Algorithm 4 per node —
+  /// measurably faster than a Neighbors() loop on any summary with real
+  /// hierarchy (see bench_batch_query). InvalidArgument if any id is
+  /// >= num_nodes(), in which case *out is untouched. Concurrency: same
+  /// as Neighbors() — any number of threads, one scratch per thread (the
+  /// scratch-free overload keeps one per thread internally).
+  Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out,
+                        BatchScratch* scratch) const;
+  Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out) const;
+
+  /// Parallel overload: shards the locality-sorted batch across `pool`
+  /// (each shard stays contiguous in the sorted order, preserving the
+  /// amortization). Falls back to the sequential path for small batches
+  /// or a pool of one. Must not be called from inside another job running
+  /// on the same pool.
+  Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out,
+                        ThreadPool* pool) const;
+
+  /// Batched Degree under the same contract: degrees->at(i) answers
+  /// nodes[i]; no neighbor lists are materialized.
+  Status DegreeBatch(std::span<const NodeId> nodes,
+                     std::vector<uint64_t>* degrees,
+                     BatchScratch* scratch) const;
+  Status DegreeBatch(std::span<const NodeId> nodes,
+                     std::vector<uint64_t>* degrees) const;
+  Status DegreeBatch(std::span<const NodeId> nodes,
+                     std::vector<uint64_t>* degrees, ThreadPool* pool) const;
 
   /// Reconstructs the exact represented graph. With a pool,
   /// reconstruction is parallel and byte-identical to the sequential one.
@@ -81,8 +119,14 @@ class CompressedGraph {
   const summary::SummaryGraph& summary() const { return summary_; }
 
  private:
+  Status ValidateBatch(std::span<const NodeId> nodes) const;
+
   summary::SummaryGraph summary_;
   summary::SummaryStats stats_;
+  // Leaf preorder of the (immutable) hierarchy, computed once at
+  // construction so every batched query sorts on a cached integer rank
+  // instead of re-deriving hierarchy locality per call.
+  std::vector<uint32_t> leaf_rank_;
 };
 
 }  // namespace slugger

@@ -95,8 +95,9 @@ class Engine {
 
   /// Largest representable input: a summarization of n leaves allocates
   /// at most n - 1 fresh supernode ids, so 2n - 2 must stay below
-  /// kInvalidId. Larger graphs would silently wrap SupernodeId.
-  static constexpr NodeId kMaxNodes = (kInvalidId >> 1) + 1;
+  /// kInvalidId. Larger graphs would silently wrap SupernodeId. The same
+  /// bound gates untrusted buffers in DeserializeSummary.
+  static constexpr NodeId kMaxNodes = slugger::kMaxNodes;
 
   /// The persistent pool, for callers that want to reuse it for Decode /
   /// Verify on this Engine's thread budget. Null when num_threads() == 1.

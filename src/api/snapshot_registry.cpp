@@ -1,0 +1,40 @@
+#include "api/snapshot_registry.hpp"
+
+#include <utility>
+
+namespace slugger {
+
+SnapshotRegistry::SnapshotRegistry(CompressedGraph initial) {
+  Publish(std::move(initial));
+}
+
+SnapshotRegistry::Snapshot SnapshotRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+SnapshotRegistry::Snapshot SnapshotRegistry::Publish(
+    CompressedGraph replacement) {
+  Snapshot snapshot =
+      std::make_shared<const CompressedGraph>(std::move(replacement));
+  Publish(Snapshot(snapshot));  // never fails: snapshot is non-null
+  return snapshot;
+}
+
+Status SnapshotRegistry::Publish(Snapshot replacement) {
+  if (replacement == nullptr) {
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  Snapshot retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::move(current_);
+    current_ = std::move(replacement);
+    version_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // `retired` drops here, outside the lock: if this was the last owner of
+  // a large summary, its destruction must not stall concurrent readers.
+  return Status::OK();
+}
+
+}  // namespace slugger

@@ -1,0 +1,75 @@
+// slugger::SnapshotRegistry — the zero-downtime serving story.
+//
+// A service holds one registry per logical graph. Reader threads call
+// Current() per request (or per small request batch) and query the
+// returned snapshot; a refresh job runs Engine::Summarize on fresh data
+// and calls Publish() with the replacement. The swap is atomic: readers
+// that grabbed the old snapshot keep serving from it until they drop
+// their shared_ptr, readers that call Current() after the swap see the
+// new one, and nobody ever observes a half-built summary.
+//
+// Thread-safety contract: every member is safe to call from any number
+// of threads concurrently. Current() and version() never block Publish()
+// for longer than a pointer swap (the retired summary is destroyed
+// outside the internal lock, so the last reader — not the publisher —
+// pays for freeing a large summary only if it is also the last owner).
+// The CompressedGraph inside a snapshot is const and therefore serves
+// concurrent queries under its own contract (one scratch per thread).
+#ifndef SLUGGER_API_SNAPSHOT_REGISTRY_HPP_
+#define SLUGGER_API_SNAPSHOT_REGISTRY_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "api/compressed_graph.hpp"
+#include "util/status.hpp"
+
+namespace slugger {
+
+class SnapshotRegistry {
+ public:
+  /// Shared ownership keeps a summary alive for exactly as long as any
+  /// reader still serves from it, however long ago it was replaced.
+  using Snapshot = std::shared_ptr<const CompressedGraph>;
+
+  /// Starts empty: Current() returns null until the first Publish().
+  SnapshotRegistry() = default;
+
+  /// Starts serving `initial` immediately (version 1).
+  explicit SnapshotRegistry(CompressedGraph initial);
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// The snapshot to serve this request from; null before any Publish().
+  /// Grab once per request and query the copy — do not re-fetch between
+  /// dependent queries, or a concurrent swap may split them across
+  /// summaries.
+  Snapshot Current() const;
+
+  /// Monotonic publish counter (0 before any Publish). A cheap way for
+  /// readers to notice a swap without holding snapshots.
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// Atomically replaces the served snapshot, taking ownership of the
+  /// replacement. Returns the snapshot now being served.
+  Snapshot Publish(CompressedGraph replacement);
+
+  /// Same, for a snapshot the caller already shares (e.g. one registry
+  /// feeding several). InvalidArgument on null — the registry never
+  /// swaps in an unserveable state.
+  Status Publish(Snapshot replacement);
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot current_;
+  std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_API_SNAPSHOT_REGISTRY_HPP_

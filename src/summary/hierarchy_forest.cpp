@@ -121,6 +121,17 @@ double HierarchyForest::AvgLeafDepth() const {
   return static_cast<double>(total) / static_cast<double>(num_leaves_);
 }
 
+std::vector<uint32_t> HierarchyForest::ComputeLeafPreorder() const {
+  std::vector<uint32_t> rank(num_leaves_, 0);
+  std::vector<SupernodeId> stack;
+  uint32_t next = 0;
+  for (SupernodeId s = 0; s < capacity(); ++s) {
+    if (!IsRoot(s)) continue;
+    ForEachLeafWith(&stack, s, [&](NodeId leaf) { rank[leaf] = next++; });
+  }
+  return rank;
+}
+
 std::vector<SupernodeId> HierarchyForest::ComputeRootMap() const {
   std::vector<SupernodeId> root(capacity(), kInvalidId);
   for (SupernodeId s = 0; s < capacity(); ++s) {

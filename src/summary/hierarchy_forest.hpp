@@ -112,6 +112,13 @@ class HierarchyForest {
   /// root[s] for every alive supernode, computed in one pass.
   std::vector<SupernodeId> ComputeRootMap() const;
 
+  /// Preorder rank of every leaf (dense, 0-based): the leaves of any
+  /// subtree occupy one contiguous rank range, so sorting node ids by
+  /// rank is equivalent to sorting their root-first ancestor chains
+  /// lexicographically — the hierarchy-locality order the batched query
+  /// path wants, at one integer comparison per pair.
+  std::vector<uint32_t> ComputeLeafPreorder() const;
+
  private:
   NodeId num_leaves_ = 0;
   std::vector<SupernodeId> parent_;

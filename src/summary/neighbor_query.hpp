@@ -9,6 +9,9 @@
 #ifndef SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
 #define SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "summary/summary_graph.hpp"
@@ -32,6 +35,8 @@ struct QueryScratch {
 /// valid until its next use. Implements Algorithm 4: walk v's ancestors,
 /// apply signed coverage of their superedges, keep subnodes with positive
 /// net. Thread-safe for concurrent callers with distinct scratches.
+/// v must be < summary.num_leaves() (asserted); untrusted ids are
+/// validated one layer up, at the slugger::CompressedGraph boundary.
 const std::vector<NodeId>& QueryNeighbors(const SummaryGraph& summary,
                                           NodeId v, QueryScratch* scratch);
 
@@ -40,6 +45,73 @@ const std::vector<NodeId>& QueryNeighbors(const SummaryGraph& summary,
 /// pass. Thread-safe under the same contract as QueryNeighbors.
 size_t QueryDegree(const SummaryGraph& summary, NodeId v,
                    QueryScratch* scratch);
+
+/// Adjacency lists of one batched query, concatenated: the neighbors of
+/// the i-th input node are neighbors[offsets[i] .. offsets[i+1]), in the
+/// caller's input order (not the internal processing order).
+struct BatchResult {
+  std::vector<NodeId> neighbors;
+  std::vector<uint64_t> offsets;  ///< batch size + 1 entries (0 when empty)
+
+  size_t size() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::span<const NodeId> operator[](size_t i) const {
+    return std::span<const NodeId>(neighbors)
+        .subspan(offsets[i], offsets[i + 1] - offsets[i]);
+  }
+};
+
+/// Per-caller buffers of the batched query path. Like QueryScratch it is
+/// allocation-free after warmup and reusable across summaries; every
+/// coverage counter and membership flag is zero between batches, so one
+/// scratch may serve interleaved single and batched queries.
+struct BatchScratch {
+  QueryScratch query;                ///< coverage counters + traversal stack
+  std::vector<uint8_t> in_touched;   ///< membership flags for query.touched
+  std::vector<SupernodeId> chains;   ///< concatenated root-first chains
+  std::vector<uint64_t> chain_begin; ///< chain offsets (batch size + 1)
+  std::vector<uint32_t> order;       ///< batch positions, locality-sorted
+  std::vector<SupernodeId> applied;  ///< currently applied ancestor chain
+  std::vector<NodeId> staged;        ///< neighbors in processing order
+  std::vector<uint64_t> staged_begin;
+  std::vector<uint32_t> preorder;    ///< fallback leaf ranks (see below)
+};
+
+/// Fills scratch->chains/chain_begin with each node's root-first ancestor
+/// chain and scratch->order with the batch positions sorted by hierarchy
+/// locality (leaf preorder): nodes sharing a long ancestor chain become
+/// adjacent, which is what lets the batch pass below reuse one coverage
+/// application per shared ancestor. Exposed so callers that shard a batch
+/// across threads can sort once globally and keep each shard's slice
+/// locality-contiguous. Every node must be < num_leaves().
+///
+/// `leaf_rank`, when provided, must be ComputeLeafPreorder() of the
+/// summary's forest; since the forest is immutable while queries run,
+/// long-lived holders (slugger::CompressedGraph) compute it once and pass
+/// it to every batch. When null it is rebuilt into scratch->preorder, an
+/// extra O(|summary|) per call.
+void ComputeBatchOrder(const SummaryGraph& summary,
+                       std::span<const NodeId> nodes, BatchScratch* scratch,
+                       const std::vector<uint32_t>* leaf_rank = nullptr);
+
+/// Batched QueryNeighbors: answers every node of `nodes` (duplicates
+/// allowed) into *result, in input order. Internally processes the batch
+/// in hierarchy-locality order and keeps the signed coverage of the
+/// shared ancestor-chain prefix applied across consecutive nodes, so the
+/// dominant cost of Algorithm 4 — expanding each ancestor's superedges to
+/// leaves — is paid once per distinct chain segment instead of once per
+/// node. Thread-safe for concurrent callers with distinct scratches.
+/// `leaf_rank` as in ComputeBatchOrder.
+void QueryNeighborsBatch(const SummaryGraph& summary,
+                         std::span<const NodeId> nodes, BatchResult* result,
+                         BatchScratch* scratch,
+                         const std::vector<uint32_t>* leaf_rank = nullptr);
+
+/// Batched QueryDegree under the same amortization: degrees->at(i) is the
+/// degree of nodes[i]; no neighbor list is materialized.
+void QueryDegreeBatch(const SummaryGraph& summary,
+                      std::span<const NodeId> nodes,
+                      std::vector<uint64_t>* degrees, BatchScratch* scratch,
+                      const std::vector<uint32_t>* leaf_rank = nullptr);
 
 /// Convenience wrapper bundling a summary reference with one scratch.
 /// Not thread-safe (share the summary, not the NeighborQuery); concurrent

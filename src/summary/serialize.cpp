@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <new>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "util/varint.hpp"
@@ -78,7 +80,9 @@ std::string SerializeSummary(const SummaryGraph& summary) {
   return out;
 }
 
-StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer) {
+namespace {
+
+StatusOr<SummaryGraph> DeserializeSummaryImpl(const std::string& buffer) {
   VarintReader reader(buffer);
   uint64_t magic = 0, version = 0, num_leaves = 0, num_internal = 0;
   Status s = reader.Get(&magic);
@@ -87,17 +91,37 @@ StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer) {
   if (!(s = reader.Get(&version)).ok()) return s;
   if (version != kVersion) return Status::Corruption("unsupported version");
   if (!(s = reader.Get(&num_leaves)).ok()) return s;
-  if (num_leaves > 0xFFFFFFFEull) return Status::Corruption("leaf overflow");
+  // Every varint-decoded count below is bounded BEFORE it sizes an
+  // allocation or a loop: an untrusted buffer may claim any 64-bit value,
+  // and the bound is what turns "huge allocation / out-of-range id" into
+  // InvalidArgument. The leaf count has no buffer-derived bound (isolated
+  // leaves occupy zero bytes), so it is gated by the id-space limit that
+  // Engine::Summarize also enforces — a loadable file is one the engine
+  // could have produced.
+  if (num_leaves > kMaxNodes) {
+    return Status::InvalidArgument(
+        "declared num_leaves " + std::to_string(num_leaves) +
+        " exceeds the supernode id space (max " + std::to_string(kMaxNodes) +
+        ")");
+  }
   if (!(s = reader.Get(&num_internal)).ok()) return s;
+  // A forest over n leaves whose internal nodes all have >= 2 children has
+  // at most n - 1 internal nodes...
+  if (num_internal + 1 > num_leaves && num_internal != 0) {
+    return Status::InvalidArgument("too many internal supernodes");
+  }
+  // ...and each one needs at least 3 encoded bytes (a child count plus two
+  // child deltas), so a count the remaining buffer cannot possibly back is
+  // rejected before the per-node vector below is allocated.
+  if (num_internal > (reader.remaining() + 2) / 3) {
+    return Status::InvalidArgument(
+        "declared internal supernode count " + std::to_string(num_internal) +
+        " exceeds what the remaining " + std::to_string(reader.remaining()) +
+        " bytes can encode");
+  }
 
   SummaryGraph summary(static_cast<NodeId>(num_leaves));
   uint64_t total = num_leaves + num_internal;
-  if (total > 0xFFFFFFFEull) return Status::Corruption("supernode overflow");
-  // A forest over n leaves whose internal nodes all have >= 2 children has
-  // at most n - 1 internal nodes.
-  if (num_internal + 1 > num_leaves && num_internal != 0) {
-    return Status::Corruption("too many internal supernodes");
-  }
 
   // Rebuild the forest. Children arrive before parents; we first create all
   // internal nodes as parents of a fake pair, so instead we reconstruct
@@ -108,10 +132,20 @@ StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer) {
     uint64_t num_children = 0;
     if (!(s = reader.Get(&num_children)).ok()) return s;
     if (num_children < 2) return Status::Corruption("supernode with <2 children");
+    if (num_children > reader.remaining()) {
+      // Each child delta takes at least one byte.
+      return Status::InvalidArgument(
+          "declared child count " + std::to_string(num_children) +
+          " exceeds the remaining buffer");
+    }
     uint64_t prev = 0;
     for (uint64_t j = 0; j < num_children; ++j) {
       uint64_t delta = 0;
       if (!(s = reader.Get(&delta)).ok()) return s;
+      if (delta > 0xFFFFFFFFull) {
+        // Larger deltas could wrap the running child id back into range.
+        return Status::Corruption("child delta out of range");
+      }
       uint64_t child = prev + delta;
       prev = child;
       if (child >= num_leaves + i) {
@@ -140,19 +174,32 @@ StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer) {
     }
   }
 
-  // Edges.
+  // Edges. Each edge encodes as two varints, so at least two bytes.
   uint64_t num_edges = 0;
   if (!(s = reader.Get(&num_edges)).ok()) return s;
+  if (num_edges > (reader.remaining() + 1) / 2) {
+    return Status::InvalidArgument(
+        "declared superedge count " + std::to_string(num_edges) +
+        " exceeds what the remaining " + std::to_string(reader.remaining()) +
+        " bytes can encode");
+  }
   uint64_t prev_a = 0;
   uint64_t prev_b = 0;
   for (uint64_t i = 0; i < num_edges; ++i) {
     uint64_t da = 0, packed = 0;
     if (!(s = reader.Get(&da)).ok()) return s;
+    if (da > 0xFFFFFFFFull) {
+      // Bounded so the running endpoint below cannot wrap back into range.
+      return Status::Corruption("superedge delta out of range");
+    }
     if (da != 0) {
       prev_a += da;
       prev_b = 0;
     }
     if (!(s = reader.Get(&packed)).ok()) return s;
+    if ((packed >> 1) > 0xFFFFFFFFull) {
+      return Status::Corruption("superedge delta out of range");
+    }
     uint64_t b = prev_b + (packed >> 1);
     prev_b = b;
     EdgeSign sign = (packed & 1) ? +1 : -1;
@@ -179,6 +226,26 @@ StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer) {
   }
   if (!reader.exhausted()) return Status::Corruption("trailing bytes");
   return summary;
+}
+
+}  // namespace
+
+StatusOr<SummaryGraph> DeserializeSummary(const std::string& buffer) {
+  // The per-count bounds above reject everything the buffer itself can
+  // contradict, but a declared leaf count has no buffer-derived bound
+  // (isolated leaves occupy zero bytes), so a hostile file may still
+  // declare more leaves than this process can allocate within the
+  // id-space gate. Surface that as a Status instead of an uncaught
+  // std::bad_alloc tearing down the serving process.
+  try {
+    return DeserializeSummaryImpl(buffer);
+  } catch (const std::bad_alloc&) {
+    return Status::InvalidArgument(
+        "summary declares more supernodes than memory allows");
+  } catch (const std::length_error&) {
+    return Status::InvalidArgument(
+        "summary declares more supernodes than memory allows");
+  }
 }
 
 Status SaveSummary(const SummaryGraph& summary, const std::string& path) {

@@ -5,8 +5,16 @@
 //   #non-leaf supernodes, then per supernode (bottom-up order):
 //     #children, child ids (delta-coded against a running counter),
 //   #superedges, then per edge: a-delta, b-delta, sign bit.
-// Loading validates structure (each node parented once, ids in range,
-// signs well-formed) and returns Corruption on any inconsistency.
+// Loading treats the buffer as untrusted: every varint-decoded count is
+// bounded against the remaining buffer and the supernode id space
+// (kMaxNodes) BEFORE it sizes an allocation or a loop, so a truncated or
+// hostile file gets InvalidArgument up front. The one count the buffer
+// cannot bound is the leaf count (isolated leaves occupy zero bytes); it
+// is capped by the id space, and an allocation the process cannot honor
+// within that cap is reported as InvalidArgument too (subject to the
+// OS's overcommit policy) rather than escaping as std::bad_alloc.
+// Structure is validated (each node parented once, ids in range, signs
+// well-formed) with Corruption on any inconsistency.
 #ifndef SLUGGER_SUMMARY_SERIALIZE_HPP_
 #define SLUGGER_SUMMARY_SERIALIZE_HPP_
 

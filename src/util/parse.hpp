@@ -1,0 +1,45 @@
+// Checked numeric parsing for untrusted command-line input.
+//
+// std::atoi silently maps garbage to 0 and overflows through undefined
+// behavior; casting its int result to an unsigned type wraps negative
+// input into huge values. These helpers reject anything that is not a
+// plain in-range decimal number, so callers can print usage and exit
+// instead of proceeding with a silently mangled value.
+#ifndef SLUGGER_UTIL_PARSE_HPP_
+#define SLUGGER_UTIL_PARSE_HPP_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+
+namespace slugger {
+
+/// Parses a complete decimal string: rejects null/empty input, signs,
+/// whitespace, trailing junk, and values above uint64 range.
+inline std::optional<uint64_t> ParseUint64(const char* s) {
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  // strtoull itself accepts leading whitespace and a sign (wrapping
+  // negatives!); a count or id starts with a digit or it is invalid.
+  if (*s < '0' || *s > '9') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(v);
+}
+
+/// ParseUint64 narrowed to uint32; values above 2^32 - 1 are rejected,
+/// not truncated.
+inline std::optional<uint32_t> ParseUint32(const char* s) {
+  std::optional<uint64_t> v = ParseUint64(s);
+  if (!v.has_value() || *v > std::numeric_limits<uint32_t>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<uint32_t>(*v);
+}
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_PARSE_HPP_

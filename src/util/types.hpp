@@ -18,6 +18,12 @@ using SupernodeId = uint32_t;
 /// Sentinel for "no node" / "no parent".
 inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
 
+/// Largest representable leaf count: summarizing n leaves can allocate up
+/// to n - 1 fresh supernode ids, so 2n - 2 must stay below kInvalidId.
+/// Shared by Engine::Summarize (input gate) and DeserializeSummary
+/// (untrusted-buffer gate) so a file that loads also round-trips.
+inline constexpr NodeId kMaxNodes = (kInvalidId >> 1) + 1;
+
 /// Sign of a superedge: +1 for a p-edge, -1 for an n-edge.
 using EdgeSign = int8_t;
 
