@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/mosso.hpp"
+#include "bench_env.hpp"
 #include "baselines/randomized.hpp"
 #include "baselines/sags.hpp"
 #include "baselines/sweg.hpp"
@@ -93,12 +94,10 @@ inline MeanStd Aggregate(const std::vector<double>& xs) {
 }
 
 /// Number of seeds per configuration (paper: 5). Override with
-/// SLUGGER_BENCH_SEEDS to trade precision for time.
+/// SLUGGER_BENCH_SEEDS to trade precision for time; a malformed value
+/// falls back instead of silently becoming atoi's zero.
 inline uint32_t SeedsFromEnv(uint32_t fallback = 2) {
-  const char* env = std::getenv("SLUGGER_BENCH_SEEDS");
-  if (env == nullptr) return fallback;
-  int v = std::atoi(env);
-  return v >= 1 ? static_cast<uint32_t>(v) : fallback;
+  return static_cast<uint32_t>(EnvU64("SLUGGER_BENCH_SEEDS", fallback));
 }
 
 /// Scale used by a bench: the env var wins; otherwise the bench default.

@@ -1,0 +1,262 @@
+// Dynamic-update throughput and overlay overhead (ISSUE 5): what does
+// keeping a compressed graph live under edits cost, and what does
+// compaction buy back?
+//
+// Compress an RMAT graph once, then time four things over the same
+// instance:
+//   edits            ApplyEdits batches until the overlay holds
+//                    `density` corrections per base edge
+//   query_base       single-node Neighbors() loop on the pristine
+//                    CompressedGraph (the no-overlay baseline)
+//   query_overlay    the same loop on the DynamicGraph with the overlay
+//                    at full density (CI gates <= 1.5x latency)
+//   compact + query_compacted
+//                    one fold compaction, then the loop again (CI gates
+//                    parity with the baseline), against the time of a
+//                    from-scratch Engine::Summarize of the mutated graph
+// Results go to stdout and BENCH_stream.json; bench/check_stream.py is
+// the CI gate.
+//
+// Env knobs:
+//   SLUGGER_BENCH_STREAM_SCALE    RMAT scale (default 13 -> 8192 nodes)
+//   SLUGGER_BENCH_STREAM_EDGES    edge count (default 8 * num_nodes)
+//   SLUGGER_BENCH_STREAM_DENSITY  corrections per 1000 base edges
+//                                 (default 10 = 1%)
+//   SLUGGER_BENCH_STREAM_QUERIES  nodes per query loop (default 30000)
+//   SLUGGER_BENCH_STREAM_ITERS    summarize iterations (default 10)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/dynamic_graph.hpp"
+#include "api/engine.hpp"
+#include "bench_env.hpp"
+#include "gen/generators.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using slugger::bench::EnvU64;
+
+struct Run {
+  std::string mode;
+  double seconds = 0.0;
+  double per_second = 0.0;
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace slugger;
+
+  const uint32_t scale =
+      static_cast<uint32_t>(EnvU64("SLUGGER_BENCH_STREAM_SCALE", 13));
+  const uint64_t num_nodes = 1ull << scale;
+  const uint64_t edges = EnvU64("SLUGGER_BENCH_STREAM_EDGES", 8 * num_nodes);
+  const uint64_t density_permille =
+      EnvU64("SLUGGER_BENCH_STREAM_DENSITY", 10);
+  const uint64_t num_queries = EnvU64("SLUGGER_BENCH_STREAM_QUERIES", 30000);
+  const uint64_t iterations = EnvU64("SLUGGER_BENCH_STREAM_ITERS", 10);
+
+  std::printf("=== dynamic updates: edit throughput + overlay overhead ===\n");
+  std::printf("rmat scale=%u nodes=%llu edges=%llu density=%.1f%% "
+              "queries=%llu\n\n",
+              scale, static_cast<unsigned long long>(num_nodes),
+              static_cast<unsigned long long>(edges),
+              static_cast<double>(density_permille) / 10.0,
+              static_cast<unsigned long long>(num_queries));
+
+  graph::Graph g = gen::RMat(scale, edges, 0.57, 0.19, 0.19, 4242);
+
+  EngineOptions compress;
+  compress.config.iterations = static_cast<uint32_t>(iterations);
+  compress.config.seed = 4242;
+  Engine engine(compress);
+  StatusOr<CompressedGraph> summarized = engine.Summarize(g);
+  if (!summarized.ok()) {
+    std::fprintf(stderr, "summarize failed: %s\n",
+                 summarized.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedGraph base = summarized.value();  // keep a pristine copy
+  std::printf("base summary: cost=%llu (%.3f of |E|)\n",
+              static_cast<unsigned long long>(base.stats().cost),
+              base.stats().RelativeSize(g.num_edges()));
+
+  DynamicGraphOptions options;
+  options.auto_compact = false;  // compaction is timed explicitly below
+  options.policy.max_fold_dirty_fraction = 1.0;  // time the fold path
+  options.policy.rebuild_after_folded = ~0ull;
+  options.rebuild.config.iterations = static_cast<uint32_t>(iterations);
+  options.rebuild.config.seed = 4242;
+  DynamicGraph dg(std::move(summarized).value(), options);
+
+  std::vector<Run> runs;
+
+  // --- edits: half deletes of real edges, half inserts of fresh pairs,
+  // batched, until the overlay reaches the target density.
+  const uint64_t target_corrections =
+      g.num_edges() * density_permille / 1000 + 1;
+  {
+    Rng rng(7);
+    WallTimer timer;
+    uint64_t submitted = 0;
+    std::vector<EdgeEdit> batch;
+    while (dg.stats().corrections < target_corrections) {
+      batch.clear();
+      for (int i = 0; i < 1024; ++i) {
+        if (i % 2 == 0) {
+          const Edge& e = g.Edges()[rng.Below(g.num_edges())];
+          batch.push_back({e.first, e.second, EditKind::kDelete});
+        } else {
+          NodeId u = static_cast<NodeId>(rng.Below(num_nodes));
+          NodeId v = static_cast<NodeId>(rng.Below(num_nodes));
+          if (u == v) v = (v + 1) % static_cast<NodeId>(num_nodes);
+          batch.push_back({u, v, EditKind::kInsert});
+        }
+      }
+      Status status = dg.ApplyEdits(batch);
+      if (!status.ok()) {
+        std::fprintf(stderr, "ApplyEdits failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      submitted += batch.size();
+    }
+    Run run;
+    run.mode = "edits";
+    run.seconds = timer.Seconds();
+    run.count = submitted;
+    run.per_second = static_cast<double>(submitted) / run.seconds;
+    runs.push_back(run);
+    std::printf("%-16s %8llu edits in %6.2fs  (%9.0f edits/s, overlay "
+                "%llu corrections)\n",
+                "edits", static_cast<unsigned long long>(submitted),
+                run.seconds, run.per_second,
+                static_cast<unsigned long long>(dg.stats().corrections));
+  }
+  const double overlay_density =
+      static_cast<double>(dg.stats().corrections) /
+      static_cast<double>(g.num_edges());
+
+  // Fixed query workload, reused by every loop below.
+  std::vector<NodeId> query_nodes(num_queries);
+  {
+    Rng rng(99);
+    for (NodeId& v : query_nodes) {
+      v = static_cast<NodeId>(rng.Below(num_nodes));
+    }
+  }
+
+  const auto time_queries = [&](const std::string& mode, auto&& query) {
+    QueryScratch scratch;
+    WallTimer timer;
+    uint64_t checksum = 0;
+    for (const NodeId v : query_nodes) checksum += query(v, &scratch);
+    Run run;
+    run.mode = mode;
+    run.seconds = timer.Seconds();
+    run.count = num_queries;
+    run.per_second = static_cast<double>(num_queries) / run.seconds;
+    run.checksum = checksum;
+    runs.push_back(run);
+    std::printf("%-16s %8llu queries in %6.2fs (%9.0f q/s, checksum "
+                "%llu)\n",
+                mode.c_str(), static_cast<unsigned long long>(num_queries),
+                run.seconds, run.per_second,
+                static_cast<unsigned long long>(checksum));
+    return run;
+  };
+
+  time_queries("query_base", [&](NodeId v, QueryScratch* scratch) {
+    return base.Neighbors(v, scratch).size();
+  });
+  time_queries("query_overlay", [&](NodeId v, QueryScratch* scratch) {
+    return dg.Neighbors(v, scratch).size();
+  });
+
+  // --- compaction (fold) vs. a from-scratch re-summarize.
+  {
+    WallTimer timer;
+    Status status = dg.Compact();
+    const double seconds = timer.Seconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "compaction failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    DynamicGraphStats stats = dg.stats();
+    Run run;
+    run.mode = "compact";
+    run.seconds = seconds;
+    run.count = stats.compactions_fold > 0 ? 0 : 1;  // 0 = fold, 1 = rebuild
+    runs.push_back(run);
+    std::printf("%-16s %s in %6.2fs (new cost %llu)\n", "compact",
+                stats.compactions_fold > 0 ? "fold" : "rebuild", seconds,
+                static_cast<unsigned long long>(stats.base_cost));
+
+    WallTimer full_timer;
+    const graph::Graph mutated = dg.Decode();
+    StatusOr<CompressedGraph> full = engine.Summarize(mutated);
+    Run full_run;
+    full_run.mode = "resummarize";
+    full_run.seconds = full_timer.Seconds();
+    if (!full.ok()) {
+      std::fprintf(stderr, "re-summarize failed: %s\n",
+                   full.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back(full_run);
+    std::printf("%-16s full rebuild in %6.2fs (cost %llu) -> compaction "
+                "is %.1fx faster\n",
+                "resummarize", full_run.seconds,
+                static_cast<unsigned long long>(full.value().stats().cost),
+                full_run.seconds / (seconds > 0 ? seconds : 1e-9));
+  }
+
+  time_queries("query_compacted", [&](NodeId v, QueryScratch* scratch) {
+    return dg.Neighbors(v, scratch).size();
+  });
+
+  // The overlay and compacted loops serve the MUTATED graph; their
+  // checksums must agree with each other (not with query_base).
+  uint64_t overlay_sum = 0, compacted_sum = 0;
+  for (const Run& run : runs) {
+    if (run.mode == "query_overlay") overlay_sum = run.checksum;
+    if (run.mode == "query_compacted") compacted_sum = run.checksum;
+  }
+  if (overlay_sum != compacted_sum) {
+    std::fprintf(stderr,
+                 "CHECKSUM MISMATCH: overlay %llu vs compacted %llu\n",
+                 static_cast<unsigned long long>(overlay_sum),
+                 static_cast<unsigned long long>(compacted_sum));
+    return 1;
+  }
+
+  FILE* json = std::fopen("BENCH_stream.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"stream_updates\", \"scale\": %u, "
+                 "\"edges\": %llu, \"overlay_density\": %.6f,\n  \"runs\": [",
+                 scale, static_cast<unsigned long long>(g.num_edges()),
+                 overlay_density);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const Run& run = runs[i];
+      std::fprintf(json,
+                   "%s\n    {\"mode\": \"%s\", \"seconds\": %.6f, "
+                   "\"count\": %llu, \"per_second\": %.2f, "
+                   "\"checksum\": %llu}",
+                   i ? "," : "", run.mode.c_str(), run.seconds,
+                   static_cast<unsigned long long>(run.count),
+                   run.per_second,
+                   static_cast<unsigned long long>(run.checksum));
+    }
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_stream.json\n");
+  }
+  return 0;
+}

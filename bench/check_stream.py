@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI smoke gate for dynamic-update (stream) overhead regressions.
+
+Reads the JSON emitted by bench_stream_updates (BENCH_stream.json) and
+fails when either of the subsystem's two serving promises regresses:
+
+  1. Overlay overhead: an overlay-aware single query at ~1% correction
+     density must stay within --max-overlay-slowdown (default 1.5x) of
+     the pristine-summary query latency.
+  2. Compaction parity: after compaction the overlay is empty, so query
+     latency must return to within --max-compacted-slowdown (default
+     1.25x) of the baseline.
+
+Also sanity-checks that the overlay and compacted query loops agreed on
+their checksums (both serve the same mutated graph).
+
+Usage:
+    check_stream.py [BENCH_stream.json]
+        [--max-overlay-slowdown X] [--max-compacted-slowdown Y]
+        [--min-single-seconds S]
+
+Exit codes: 0 pass, 1 regression, 2 bad input. If the baseline query
+loop ran faster than --min-single-seconds, the latency gates pass with
+a notice instead of judging noise-dominated timings (the checksum check
+still applies).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", default="BENCH_stream.json")
+    parser.add_argument("--max-overlay-slowdown", type=float, default=1.5,
+                        help="max acceptable overlay-query latency as a "
+                             "multiple of the pristine baseline")
+    parser.add_argument("--max-compacted-slowdown", type=float, default=1.25,
+                        help="max acceptable post-compaction latency as a "
+                             "multiple of the pristine baseline")
+    parser.add_argument("--min-single-seconds", type=float, default=0.2,
+                        help="skip the latency gates when the baseline "
+                             "loop is shorter than this (timing noise)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {args.report}: {err}", file=sys.stderr)
+        return 2
+
+    runs = {r.get("mode"): r for r in report.get("runs", [])}
+    required = ("query_base", "query_overlay", "query_compacted")
+    missing = [m for m in required if m not in runs]
+    if missing:
+        print(f"error: {args.report} is missing runs: {missing}",
+              file=sys.stderr)
+        return 2
+
+    overlay = runs["query_overlay"]
+    compacted = runs["query_compacted"]
+    if overlay["checksum"] != compacted["checksum"]:
+        print(f"FAIL: overlay checksum {overlay['checksum']} != compacted "
+              f"checksum {compacted['checksum']} — the two paths served "
+              f"different graphs", file=sys.stderr)
+        return 1
+
+    base = runs["query_base"]
+    if base["seconds"] < args.min_single_seconds:
+        print(f"SKIP: baseline query loop took only {base['seconds']:.3f}s "
+              f"(< {args.min_single_seconds}s); too noisy to gate latency "
+              f"(checksums OK)")
+        return 0
+
+    ok = True
+    for name, run, limit in (
+            ("overlay", overlay, args.max_overlay_slowdown),
+            ("compacted", compacted, args.max_compacted_slowdown)):
+        slowdown = (base["per_second"] / run["per_second"]
+                    if run["per_second"] > 0 else float("inf"))
+        verdict = "PASS" if slowdown <= limit else "FAIL"
+        ok = ok and verdict == "PASS"
+        density = report.get("overlay_density", 0.0)
+        print(f"{verdict}: {name} query latency = {slowdown:.2f}x baseline "
+              f"(threshold {limit}x, overlay density {density:.3%})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

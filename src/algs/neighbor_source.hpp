@@ -4,6 +4,8 @@
 #ifndef SLUGGER_ALGS_NEIGHBOR_SOURCE_HPP_
 #define SLUGGER_ALGS_NEIGHBOR_SOURCE_HPP_
 
+#include <algorithm>
+#include <numeric>
 #include <span>
 
 #include "graph/graph.hpp"
@@ -24,20 +26,69 @@ class RawSource {
 };
 
 /// Adapter over a summary: neighbors are decompressed on the fly
-/// (Algorithm 4), never materializing the whole graph.
+/// (Algorithm 4), never materializing the whole graph. Built on the
+/// QueryScratch split: the summary stays shared and immutable, all
+/// mutable query state lives in this instance — several threads may run
+/// algorithms over one summary concurrently, one SummarySource each.
 class SummarySource {
  public:
-  explicit SummarySource(const summary::SummaryGraph& s)
-      : num_nodes_(s.num_leaves()), query_(s) {}
-  NodeId num_nodes() const { return num_nodes_; }
+  explicit SummarySource(const summary::SummaryGraph& s) : s_(&s) {}
+  NodeId num_nodes() const { return s_->num_leaves(); }
   std::span<const NodeId> Neighbors(NodeId u) {
-    const std::vector<NodeId>& v = query_.Neighbors(u);
+    const std::vector<NodeId>& v = summary::QueryNeighbors(*s_, u, &scratch_);
     return {v.data(), v.size()};
   }
 
  private:
-  NodeId num_nodes_;
-  summary::NeighborQuery query_;
+  const summary::SummaryGraph* s_;
+  summary::QueryScratch scratch_;
+};
+
+/// Batch-aware adapter: materializes the whole adjacency up front
+/// through QueryNeighborsBatch — the hierarchy-locality walk pays one
+/// coverage application per shared ancestor chain instead of one full
+/// Algorithm-4 pass per node — then serves Neighbors(u) as O(1) span
+/// lookups. The batch sweep runs in node blocks (`block_size`) so peak
+/// per-block scratch stays bounded on large summaries.
+///
+/// The right source for multi-pass analytics (PageRank's T sweeps, BFS
+/// frontiers that revisit hubs): one amortized sweep, then every pass is
+/// pure array reads. For a single pass over few nodes, SummarySource's
+/// lazy decompression costs less. Thread-safe after construction (all
+/// members are immutable; Neighbors is const).
+class BatchedSummarySource {
+ public:
+  explicit BatchedSummarySource(const summary::SummaryGraph& s,
+                                size_t block_size = size_t{1} << 16)
+      : num_nodes_(s.num_leaves()) {
+    adjacency_.offsets.reserve(num_nodes_ + 1);
+    adjacency_.offsets.push_back(0);
+    summary::BatchScratch scratch;
+    summary::BatchResult block;
+    std::vector<NodeId> ids;
+    for (NodeId begin = 0; begin < num_nodes_;) {
+      const NodeId end = static_cast<NodeId>(
+          std::min<size_t>(num_nodes_, begin + block_size));
+      ids.resize(end - begin);
+      std::iota(ids.begin(), ids.end(), begin);
+      summary::QueryNeighborsBatch(s, ids, &block, &scratch);
+      const uint64_t offset = adjacency_.neighbors.size();
+      adjacency_.neighbors.insert(adjacency_.neighbors.end(),
+                                  block.neighbors.begin(),
+                                  block.neighbors.end());
+      for (size_t i = 1; i < block.offsets.size(); ++i) {
+        adjacency_.offsets.push_back(offset + block.offsets[i]);
+      }
+      begin = end;
+    }
+  }
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::span<const NodeId> Neighbors(NodeId u) const { return adjacency_[u]; }
+
+ private:
+  NodeId num_nodes_ = 0;
+  summary::BatchResult adjacency_;  ///< full CSR, offsets over all nodes
 };
 
 }  // namespace slugger::algs

@@ -14,4 +14,10 @@ std::vector<double> PageRankOnSummary(const summary::SummaryGraph& s, double d,
   return PageRank(src, d, iterations);
 }
 
+std::vector<double> PageRankOnSummaryBatched(const summary::SummaryGraph& s,
+                                             double d, uint32_t iterations) {
+  BatchedSummarySource src(s);
+  return PageRank(src, d, iterations);
+}
+
 }  // namespace slugger::algs

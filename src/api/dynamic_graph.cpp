@@ -1,0 +1,347 @@
+#include "api/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "summary/neighbor_query.hpp"
+
+namespace slugger {
+
+namespace {
+
+using stream::NeighborOverride;
+
+/// Thread-local backing of the scratch-free overloads, mirroring the
+/// CompressedGraph facade: one scratch per thread serves every
+/// DynamicGraph (all counters are zero between queries).
+QueryScratch& ThreadLocalScratch() {
+  thread_local QueryScratch scratch;
+  return scratch;
+}
+
+OverlayBatchScratch& ThreadLocalOverlayScratch() {
+  thread_local OverlayBatchScratch scratch;
+  return scratch;
+}
+
+/// True iff the sorted correction list removes `u`.
+bool IsRemoved(std::span<const NeighborOverride> deltas, NodeId u) {
+  return summary::FindOverrideSign(deltas, u) < 0;
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(CompressedGraph initial,
+                           DynamicGraphOptions options)
+    : num_nodes_(initial.num_nodes()),
+      options_(std::move(options)),
+      compactor_(options_.policy, options_.rebuild) {
+  SnapshotRegistry::Snapshot base = registry_.Publish(std::move(initial));
+  state_ = std::make_shared<State>(
+      State{std::move(base), std::make_shared<stream::EdgeOverlay>(),
+            registry_.version()});
+}
+
+DynamicGraph::~DynamicGraph() {
+  cancel_.Cancel();
+  WaitForCompaction();
+}
+
+std::shared_ptr<const DynamicGraph::State> DynamicGraph::CurrentState() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+void DynamicGraph::SetState(std::shared_ptr<const State> next) {
+  std::shared_ptr<const State> retired;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    retired.swap(state_);
+    state_ = std::move(next);
+  }
+  // `retired` (possibly the last reference to a big overlay) dies here,
+  // outside the lock readers take.
+}
+
+bool DynamicGraph::BaseHasEdge(const CompressedGraph& base, NodeId u,
+                               NodeId v, QueryScratch* scratch) const {
+  const std::vector<NodeId>& nbrs =
+      summary::QueryNeighbors(base.summary(), u, scratch);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+Status DynamicGraph::ValidateEdits(std::span<const EdgeEdit> edits) const {
+  for (size_t i = 0; i < edits.size(); ++i) {
+    const EdgeEdit& e = edits[i];
+    if (e.u >= num_nodes_ || e.v >= num_nodes_) {
+      return Status::InvalidArgument(
+          "edit at position " + std::to_string(i) + " touches node " +
+          std::to_string(e.u >= num_nodes_ ? e.u : e.v) +
+          ", out of range (graph has " + std::to_string(num_nodes_) +
+          " nodes; edits cannot grow the node universe)");
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument(
+          "edit at position " + std::to_string(i) + " is a self-loop on node " +
+          std::to_string(e.u) + " (the represented graph is simple)");
+    }
+  }
+  return Status::OK();
+}
+
+Status DynamicGraph::ApplyEdits(std::span<const EdgeEdit> edits) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Status valid = ValidateEdits(edits);
+  if (!valid.ok()) return valid;
+  if (edits.empty()) return Status::OK();
+
+  std::shared_ptr<const State> cur = CurrentState();
+  const CompressedGraph& base = *cur->base;
+  auto next = std::make_shared<stream::EdgeOverlay>(*cur->overlay);
+  uint64_t applied = 0;
+  uint64_t redundant = 0;
+  for (const EdgeEdit& e : edits) {
+    const bool changed = next->Apply(
+        e, [&] { return BaseHasEdge(base, e.u, e.v, &write_scratch_); });
+    if (changed) {
+      ++applied;
+    } else {
+      ++redundant;
+    }
+  }
+  edits_applied_.fetch_add(applied, std::memory_order_relaxed);
+  edits_redundant_.fetch_add(redundant, std::memory_order_relaxed);
+
+  if (compaction_running_.load(std::memory_order_acquire)) {
+    // The in-flight compaction snapshotted an older overlay; log these
+    // edits so the publish step can re-base them onto the new summary.
+    pending_log_.insert(pending_log_.end(), edits.begin(), edits.end());
+  }
+
+  auto next_state = std::make_shared<State>(
+      State{cur->base, std::move(next), cur->base_version});
+  SetState(next_state);
+
+  const bool auto_compact_healthy =
+      last_compaction_error_.ok() ||
+      last_compaction_error_.code() == Status::Code::kAborted;
+  if (options_.auto_compact && auto_compact_healthy &&
+      !compaction_running_.load(std::memory_order_acquire) &&
+      compactor_.ShouldCompact(*next_state->base, *next_state->overlay)) {
+    StartBackgroundCompaction(std::move(next_state));
+  }
+  return Status::OK();
+}
+
+const std::vector<NodeId>& DynamicGraph::Neighbors(
+    NodeId v, QueryScratch* scratch) const {
+  if (v >= num_nodes_) {
+    scratch->result.clear();
+    return scratch->result;
+  }
+  std::shared_ptr<const State> s = CurrentState();
+  return summary::QueryNeighbors(s->base->summary(), v, scratch,
+                                 s->overlay->DeltasOf(v));
+}
+
+const std::vector<NodeId>& DynamicGraph::Neighbors(NodeId v) const {
+  return Neighbors(v, &ThreadLocalScratch());
+}
+
+size_t DynamicGraph::Degree(NodeId v, QueryScratch* scratch) const {
+  if (v >= num_nodes_) return 0;
+  std::shared_ptr<const State> s = CurrentState();
+  const int64_t degree =
+      static_cast<int64_t>(
+          summary::QueryDegree(s->base->summary(), v, scratch)) +
+      s->overlay->DegreeDelta(v);
+  return degree < 0 ? 0 : static_cast<size_t>(degree);
+}
+
+size_t DynamicGraph::Degree(NodeId v) const {
+  return Degree(v, &ThreadLocalScratch());
+}
+
+Status DynamicGraph::NeighborsBatch(std::span<const NodeId> nodes,
+                                    BatchResult* out,
+                                    OverlayBatchScratch* scratch) const {
+  std::shared_ptr<const State> s = CurrentState();
+  const stream::EdgeOverlay& overlay = *s->overlay;
+  if (overlay.empty()) {
+    // No corrections: the base facade answers directly (and validates).
+    return s->base->NeighborsBatch(nodes, out, &scratch->batch);
+  }
+  Status status = s->base->NeighborsBatch(nodes, &scratch->base,
+                                          &scratch->batch);
+  if (!status.ok()) return status;
+
+  // Patch each answer: drop removed base edges, append added ones. The
+  // overlay invariant makes sizes exact up front (every correction is
+  // worth exactly one edge of difference).
+  const size_t batch = nodes.size();
+  out->offsets.assign(batch + 1, 0);
+  for (size_t i = 0; i < batch; ++i) {
+    int64_t size = static_cast<int64_t>(scratch->base[i].size());
+    for (const NeighborOverride& o : overlay.DeltasOf(nodes[i])) {
+      size += o.sign;
+    }
+    out->offsets[i + 1] = static_cast<uint64_t>(size < 0 ? 0 : size);
+  }
+  for (size_t i = 0; i < batch; ++i) out->offsets[i + 1] += out->offsets[i];
+  out->neighbors.resize(out->offsets[batch]);
+  for (size_t i = 0; i < batch; ++i) {
+    auto write = out->neighbors.begin() + out->offsets[i];
+    const std::span<const NodeId> from_base = scratch->base[i];
+    const std::span<const NeighborOverride> deltas =
+        overlay.DeltasOf(nodes[i]);
+    if (deltas.empty()) {
+      write = std::copy(from_base.begin(), from_base.end(), write);
+      continue;
+    }
+    for (const NodeId u : from_base) {
+      if (!IsRemoved(deltas, u)) *write++ = u;
+    }
+    for (const NeighborOverride& o : deltas) {
+      if (o.sign > 0) *write++ = o.neighbor;
+    }
+  }
+  return Status::OK();
+}
+
+Status DynamicGraph::NeighborsBatch(std::span<const NodeId> nodes,
+                                    BatchResult* out) const {
+  return NeighborsBatch(nodes, out, &ThreadLocalOverlayScratch());
+}
+
+Status DynamicGraph::DegreeBatch(std::span<const NodeId> nodes,
+                                 std::vector<uint64_t>* degrees,
+                                 OverlayBatchScratch* scratch) const {
+  std::shared_ptr<const State> s = CurrentState();
+  Status status = s->base->DegreeBatch(nodes, degrees, &scratch->batch);
+  if (!status.ok()) return status;
+  const stream::EdgeOverlay& overlay = *s->overlay;
+  if (overlay.empty()) return Status::OK();
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int64_t degree = static_cast<int64_t>((*degrees)[i]) +
+                           overlay.DegreeDelta(nodes[i]);
+    (*degrees)[i] = static_cast<uint64_t>(degree < 0 ? 0 : degree);
+  }
+  return Status::OK();
+}
+
+Status DynamicGraph::DegreeBatch(std::span<const NodeId> nodes,
+                                 std::vector<uint64_t>* degrees) const {
+  return DegreeBatch(nodes, degrees, &ThreadLocalOverlayScratch());
+}
+
+void DynamicGraph::StartBackgroundCompaction(
+    std::shared_ptr<const State> snapshot) {
+  std::lock_guard<std::mutex> wlock(worker_mu_);
+  // The previous worker (if any) has finished — compaction_running_ is
+  // false and it clears that flag under write_mu_, which we hold — so
+  // this join reaps a dead thread without blocking.
+  if (worker_.joinable()) worker_.join();
+  pending_log_.clear();
+  compaction_running_.store(true, std::memory_order_release);
+  worker_ = std::thread(
+      [this, snap = std::move(snapshot)] { RunCompaction(std::move(snap)); });
+}
+
+Status DynamicGraph::RunCompaction(std::shared_ptr<const State> snapshot) {
+  stream::CompactionStats cstats;
+  StatusOr<CompressedGraph> result = compactor_.Compact(
+      *snapshot->base, *snapshot->overlay, &cancel_, &cstats);
+
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Status status = result.ok() ? Status::OK() : result.status();
+  last_compaction_error_ = status;
+  if (!result.ok()) {
+    compactions_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result.ok()) {
+    SnapshotRegistry::Snapshot new_base =
+        registry_.Publish(std::move(result).value());
+    // Re-base the edits that raced the compaction onto the new summary:
+    // both sides start from the same mutated graph, and edits are
+    // ensure-present / ensure-absent, so replaying them in order lands
+    // on exactly the state readers were already seeing.
+    auto overlay = std::make_shared<stream::EdgeOverlay>();
+    for (const EdgeEdit& e : pending_log_) {
+      overlay->Apply(
+          e, [&] { return BaseHasEdge(*new_base, e.u, e.v, &write_scratch_); });
+    }
+    SetState(std::make_shared<State>(
+        State{std::move(new_base), std::move(overlay), registry_.version()}));
+    auto& counter = cstats.kind == stream::CompactionKind::kFold
+                        ? compactions_fold_
+                        : compactions_rebuild_;
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  pending_log_.clear();
+  compaction_running_.store(false, std::memory_order_release);
+  compaction_done_cv_.notify_all();
+  return status;
+}
+
+Status DynamicGraph::Compact() {
+  std::shared_ptr<const State> snapshot;
+  while (true) {
+    WaitForCompaction();
+    std::unique_lock<std::mutex> lock(write_mu_);
+    // A concurrent ApplyEdits may have re-triggered auto-compaction
+    // between the wait and the lock; wait it out and try again.
+    if (compaction_running_.load(std::memory_order_acquire)) continue;
+    snapshot = CurrentState();
+    if (snapshot->overlay->empty()) return Status::OK();
+    pending_log_.clear();
+    compaction_running_.store(true, std::memory_order_release);
+    break;
+  }
+  return RunCompaction(std::move(snapshot));
+}
+
+void DynamicGraph::WaitForCompaction() {
+  // Reap the worker thread first (join must not hold write_mu_ — the
+  // worker acquires it to publish); then block on the flag, which covers
+  // synchronous Compact() calls running on other threads too.
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    worker = std::move(worker_);
+  }
+  if (worker.joinable()) worker.join();
+  std::unique_lock<std::mutex> lock(write_mu_);
+  compaction_done_cv_.wait(lock, [this] {
+    return !compaction_running_.load(std::memory_order_acquire);
+  });
+}
+
+Status DynamicGraph::last_compaction_error() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return last_compaction_error_;
+}
+
+DynamicGraphStats DynamicGraph::stats() const {
+  std::shared_ptr<const State> s = CurrentState();
+  DynamicGraphStats out;
+  out.edits_applied = edits_applied_.load(std::memory_order_relaxed);
+  out.edits_redundant = edits_redundant_.load(std::memory_order_relaxed);
+  out.corrections = s->overlay->correction_count();
+  out.dirty_nodes = s->overlay->dirty_node_count();
+  out.compactions_fold = compactions_fold_.load(std::memory_order_relaxed);
+  out.compactions_rebuild =
+      compactions_rebuild_.load(std::memory_order_relaxed);
+  out.compactions_failed =
+      compactions_failed_.load(std::memory_order_relaxed);
+  out.base_version = s->base_version;
+  out.base_cost = s->base->stats().cost;
+  return out;
+}
+
+graph::Graph DynamicGraph::Decode() const {
+  std::shared_ptr<const State> s = CurrentState();
+  return stream::ApplyOverlay(s->base->Decode(), *s->overlay);
+}
+
+}  // namespace slugger

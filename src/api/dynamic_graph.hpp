@@ -1,0 +1,238 @@
+// slugger::DynamicGraph — a live, losslessly mutable view over one
+// compressed graph (ISSUE 5): the pipeline stage between summarization
+// and serving.
+//
+// A DynamicGraph holds an immutable base CompressedGraph plus a
+// stream::EdgeOverlay of raw-edge corrections. ApplyEdits() mutates the
+// represented graph without re-summarizing; every read (single, batched)
+// merges the overlay into the summary query walk, so answers ALWAYS
+// equal the decoded mutated graph. When the overlay outgrows its cost
+// model, a stream::Compactor folds it back into the summary — localized
+// leaf-pair folding for small dirty sets, a full Engine::Summarize
+// rebuild otherwise — and the fresh base is published through an
+// internal SnapshotRegistry.
+//
+// Thread-safety contract:
+//  - Reads (Neighbors / Degree / *Batch / Decode / stats) are safe from
+//    any number of threads, one scratch per thread, and NEVER block on
+//    writers or compaction beyond a pointer-copy: each read pins an
+//    immutable {base, overlay} state snapshot (SnapshotRegistry-style
+//    copy-on-write swap).
+//  - ApplyEdits and Compact are safe from any thread (internally
+//    serialized); a single logical writer gets the obvious sequential
+//    semantics.
+//  - Background compaction runs on its own thread; edits that arrive
+//    while it folds are re-based onto the new summary at publish time,
+//    so no edit is ever lost and readers never see a half-compacted
+//    state. The destructor cancels any in-flight compaction and joins.
+#ifndef SLUGGER_API_DYNAMIC_GRAPH_HPP_
+#define SLUGGER_API_DYNAMIC_GRAPH_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "api/compressed_graph.hpp"
+#include "api/engine.hpp"
+#include "api/snapshot_registry.hpp"
+#include "graph/graph.hpp"
+#include "stream/compactor.hpp"
+#include "stream/edge_overlay.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace slugger {
+
+/// Re-exported so facade users never include stream headers directly.
+using EdgeEdit = stream::EdgeEdit;
+using EditKind = stream::EditKind;
+using CompactionPolicy = stream::CompactionPolicy;
+
+struct DynamicGraphOptions {
+  /// When to compact and when folding gives way to rebuilding.
+  CompactionPolicy policy;
+
+  /// Engine configuration of rebuild compactions (iterations, threads,
+  /// engine flavor). Validated at construction; an invalid configuration
+  /// surfaces from the first compaction, never as a crash.
+  EngineOptions rebuild;
+
+  /// Start background compaction automatically when the policy triggers
+  /// (checked after every ApplyEdits). With false, compaction runs only
+  /// through explicit Compact() calls — what deterministic tests want.
+  bool auto_compact = true;
+};
+
+/// Point-in-time observability counters.
+struct DynamicGraphStats {
+  uint64_t edits_applied = 0;    ///< edits that changed the graph
+  uint64_t edits_redundant = 0;  ///< no-op edits (already present/absent)
+  uint64_t corrections = 0;      ///< current overlay size
+  uint64_t dirty_nodes = 0;      ///< nodes with incident corrections
+  uint64_t compactions_fold = 0;
+  uint64_t compactions_rebuild = 0;
+  uint64_t compactions_failed = 0;  ///< see last_compaction_error()
+  uint64_t base_version = 0;     ///< SnapshotRegistry publish counter
+  uint64_t base_cost = 0;        ///< current base summary cost
+};
+
+/// Per-caller buffers of the overlay-aware batched read path.
+struct OverlayBatchScratch {
+  BatchScratch batch;     ///< base-summary batch state
+  BatchResult base;       ///< base answers, before patching
+};
+
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(CompressedGraph initial,
+                        DynamicGraphOptions options = {});
+  ~DynamicGraph();
+
+  DynamicGraph(const DynamicGraph&) = delete;
+  DynamicGraph& operator=(const DynamicGraph&) = delete;
+
+  /// The fixed node universe (edits mutate edges, never nodes).
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Applies a batch of edge insertions/deletions atomically with
+  /// respect to readers: a reader sees either none or all of the batch.
+  /// The whole batch is validated first — InvalidArgument (endpoint out
+  /// of range, or a self-loop) applies nothing. Redundant edits
+  /// (inserting a present edge, deleting an absent one) are counted but
+  /// are no-ops. May trigger background compaction per the options.
+  ///
+  /// Cost: per edit, one base-summary membership probe (a neighbor
+  /// query) when the pair carries no correction yet — plus, PER CALL,
+  /// one copy-on-write snapshot of the overlay (that copy is what lets
+  /// readers run lock-free). The copy is O(current corrections), so
+  /// batch edits where you can: a k-edit batch pays one copy, k calls
+  /// to ApplyEdit pay k.
+  Status ApplyEdits(std::span<const EdgeEdit> edits);
+
+  /// Single-edit convenience. Per-call cost is the same as a 1-edit
+  /// batch (including the O(corrections) snapshot copy) — prefer
+  /// batched ApplyEdits on hot write paths.
+  Status ApplyEdit(const EdgeEdit& edit) { return ApplyEdits({&edit, 1}); }
+
+  /// One-hop neighbors of v in the MUTATED graph, in unspecified order;
+  /// the reference points into *scratch. Out-of-range v yields an empty
+  /// list, mirroring CompressedGraph. Any number of concurrent callers,
+  /// one scratch per thread; never blocks on writers.
+  const std::vector<NodeId>& Neighbors(NodeId v, QueryScratch* scratch) const;
+
+  /// Scratch-free overload backed by a thread-local scratch.
+  const std::vector<NodeId>& Neighbors(NodeId v) const;
+
+  /// Degree of v in the mutated graph (out-of-range v yields 0).
+  size_t Degree(NodeId v, QueryScratch* scratch) const;
+  size_t Degree(NodeId v) const;
+
+  /// Batched reads over the mutated graph, in input order (duplicates
+  /// allowed): the base summary answers through the amortized batch walk,
+  /// then overlay corrections patch each touched node. InvalidArgument
+  /// if any id is out of range, in which case *out is untouched.
+  Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out,
+                        OverlayBatchScratch* scratch) const;
+  Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out) const;
+  Status DegreeBatch(std::span<const NodeId> nodes,
+                     std::vector<uint64_t>* degrees,
+                     OverlayBatchScratch* scratch) const;
+  Status DegreeBatch(std::span<const NodeId> nodes,
+                     std::vector<uint64_t>* degrees) const;
+
+  /// Synchronous compaction: waits for any in-flight background run,
+  /// then folds/rebuilds the current overlay per policy. OK with an
+  /// empty overlay (no-op). Readers keep serving throughout.
+  Status Compact();
+
+  /// Blocks until no background compaction is in flight. (A new one may
+  /// start from a concurrent ApplyEdits afterwards.)
+  void WaitForCompaction();
+
+  bool compaction_in_flight() const {
+    return compaction_running_.load(std::memory_order_acquire);
+  }
+
+  /// Verdict of the most recent compaction (OK before any ran, or after
+  /// a successful one). Background failures land here instead of
+  /// vanishing with the worker thread; a non-OK, non-Aborted verdict
+  /// (e.g. invalid rebuild options) also PAUSES auto-compaction — the
+  /// failure is deterministic, so re-spawning a doomed rebuild after
+  /// every batch would only burn decode time while the overlay grows.
+  /// An explicit Compact() still runs (and reports the error afresh).
+  Status last_compaction_error() const;
+
+  /// Every compacted base is published here (version 1 is the summary
+  /// the DynamicGraph was constructed with). External consumers that
+  /// only need eventually-compacted reads can serve straight from the
+  /// registry's snapshots.
+  const SnapshotRegistry& registry() const { return registry_; }
+
+  DynamicGraphStats stats() const;
+
+  /// The exact mutated graph (base decode + overlay), for verification
+  /// and export.
+  graph::Graph Decode() const;
+
+ private:
+  /// One immutable generation of the served state; readers pin it with a
+  /// shared_ptr copy and writers swap in replacements whole. The base's
+  /// registry version rides along so stats() reports one coherent
+  /// generation instead of mixing a pinned overlay with a live counter.
+  struct State {
+    SnapshotRegistry::Snapshot base;
+    std::shared_ptr<const stream::EdgeOverlay> overlay;
+    uint64_t base_version = 0;
+  };
+
+  std::shared_ptr<const State> CurrentState() const;
+  void SetState(std::shared_ptr<const State> next);
+  bool BaseHasEdge(const CompressedGraph& base, NodeId u, NodeId v,
+                   QueryScratch* scratch) const;
+  Status ValidateEdits(std::span<const EdgeEdit> edits) const;
+  /// Claims the compaction slot for `snapshot` (write_mu_ held).
+  void StartBackgroundCompaction(std::shared_ptr<const State> snapshot);
+  /// Compacts `snapshot`, publishes, re-bases pending edits, releases
+  /// the claimed slot. Runs with no locks held until the publish step.
+  Status RunCompaction(std::shared_ptr<const State> snapshot);
+
+  NodeId num_nodes_ = 0;
+  DynamicGraphOptions options_;
+  stream::Compactor compactor_;
+  SnapshotRegistry registry_;
+  CancelToken cancel_;
+
+  /// Guards state_ swaps and reads (pointer copy only — the pointee is
+  /// immutable, so readers never hold it while querying).
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const State> state_;
+
+  /// Serializes writers: ApplyEdits bodies, compaction claim/publish,
+  /// and the pending-edit log. Never held while compacting or querying
+  /// (mutable only for the const last_compaction_error() accessor).
+  mutable std::mutex write_mu_;
+  std::vector<EdgeEdit> pending_log_;  ///< edits since compaction started
+  QueryScratch write_scratch_;         ///< base-membership probe buffers
+  std::atomic<bool> compaction_running_{false};
+  std::condition_variable compaction_done_cv_;  ///< with write_mu_
+  Status last_compaction_error_;                ///< guarded by write_mu_
+
+  /// Guards the worker handle only (join must not hold write_mu_).
+  std::mutex worker_mu_;
+  std::thread worker_;
+
+  std::atomic<uint64_t> edits_applied_{0};
+  std::atomic<uint64_t> edits_redundant_{0};
+  std::atomic<uint64_t> compactions_fold_{0};
+  std::atomic<uint64_t> compactions_rebuild_{0};
+  std::atomic<uint64_t> compactions_failed_{0};
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_API_DYNAMIC_GRAPH_HPP_

@@ -1,0 +1,125 @@
+// stream::Compactor — folds an EdgeOverlay back into its base summary.
+//
+// The overlay keeps edits cheap, but every correction is one unit of
+// storage the summary is not compressing and one override the query walk
+// must merge. The compactor watches that cost (ShouldCompact) and, past
+// the threshold, produces a fresh CompressedGraph representing the
+// mutated graph with an EMPTY overlay, by one of two strategies:
+//
+//  - kFold (localized): copy the summary and, for each corrected pair,
+//    solve for the leaf-level superedge that moves the pair's net signed
+//    coverage across zero (present: net >= 1; absent: net <= 0). Work is
+//    proportional to the dirty nodes' ancestor chains — the affected
+//    subtrees — not the graph. Folding is exact but can be infeasible
+//    when higher superedges over-cover a pair by 2 or more (one leaf
+//    edge shifts net by at most 1); then, and when the dirty set is too
+//    large a fraction of the graph for localized work to pay, it
+//    falls back to:
+//
+//  - kRebuild (global): decode the base, apply the overlay, and re-run
+//    Engine::Summarize on the mutated graph over the compactor's
+//    persistent thread pool. Folding also *accumulates* leaf-level
+//    corrections that merging would compress away, so after enough folds
+//    the policy forces a rebuild to restore compression quality.
+//
+// Both paths honor cooperative cancellation: a cancelled Compact returns
+// Status::Aborted and the caller keeps serving base + overlay unchanged
+// (a half-folded summary represents neither the old nor the new graph,
+// so nothing partial ever escapes).
+//
+// Thread-safety: one Compact() at a time per Compactor (it is stateful
+// across calls — the fold budget); ShouldCompact is const and safe
+// concurrently with nothing else running.
+#ifndef SLUGGER_STREAM_COMPACTOR_HPP_
+#define SLUGGER_STREAM_COMPACTOR_HPP_
+
+#include <cstdint>
+
+#include "api/compressed_graph.hpp"
+#include "api/engine.hpp"
+#include "stream/edge_overlay.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace slugger::stream {
+
+/// The overlay cost model: when to compact, and how.
+struct CompactionPolicy {
+  /// Never compact below this many corrections (tiny overlays cost less
+  /// than any compaction would).
+  uint64_t min_corrections = 1024;
+
+  /// Compact once corrections exceed this fraction of the base summary's
+  /// cost (|P+| + |P-| + |H|) — the point where the overlay's storage
+  /// and query overhead rivals what the summary saves.
+  double max_overlay_ratio = 0.05;
+
+  /// Fold when the dirty-node fraction is at most this; a larger dirty
+  /// set means the "localized" work touches much of the hierarchy anyway
+  /// and a rebuild both costs the same order and compresses better.
+  double max_fold_dirty_fraction = 0.02;
+
+  /// Force a rebuild once this many corrections have been folded since
+  /// the last one: folded leaf edges are stored verbatim (never merged),
+  /// so compression quality decays with every fold.
+  uint64_t rebuild_after_folded = 1u << 18;
+};
+
+enum class CompactionKind : uint8_t { kFold = 0, kRebuild = 1 };
+
+/// What one Compact() did, for observability and benches.
+struct CompactionStats {
+  CompactionKind kind = CompactionKind::kFold;
+  bool fold_fell_back = false;  ///< fold was tried but infeasible
+  uint64_t corrections = 0;     ///< overlay size that was folded in
+  uint64_t old_cost = 0;        ///< base summary cost before
+  uint64_t new_cost = 0;        ///< summary cost after
+  double seconds = 0.0;
+};
+
+class Compactor {
+ public:
+  /// `rebuild_options` configure the Engine used by rebuild compactions
+  /// (iterations, threads, engine flavor); the Engine and its pool
+  /// persist across compactions.
+  explicit Compactor(CompactionPolicy policy,
+                     EngineOptions rebuild_options = {});
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  const CompactionPolicy& policy() const { return policy_; }
+
+  /// True when the overlay has outgrown the policy thresholds against
+  /// this base.
+  bool ShouldCompact(const CompressedGraph& base,
+                     const EdgeOverlay& overlay) const;
+
+  /// Produces a CompressedGraph of base + overlay (fold or rebuild per
+  /// policy; an infeasible fold transparently rebuilds). On cancellation
+  /// returns Status::Aborted with the base untouched. An empty overlay
+  /// returns a copy of the base. `stats` (optional) reports what ran.
+  StatusOr<CompressedGraph> Compact(const CompressedGraph& base,
+                                    const EdgeOverlay& overlay,
+                                    const CancelToken* cancel = nullptr,
+                                    CompactionStats* stats = nullptr);
+
+ private:
+  /// Localized fold; NotFound signals "infeasible, rebuild instead"
+  /// (never escapes Compact), Aborted signals cancellation.
+  StatusOr<CompressedGraph> TryFold(const CompressedGraph& base,
+                                    const EdgeOverlay& overlay,
+                                    const CancelToken* cancel) const;
+
+  StatusOr<CompressedGraph> Rebuild(const CompressedGraph& base,
+                                    const EdgeOverlay& overlay,
+                                    const CancelToken* cancel);
+
+  CompactionPolicy policy_;
+  Engine engine_;
+  uint64_t folded_since_rebuild_ = 0;
+};
+
+}  // namespace slugger::stream
+
+#endif  // SLUGGER_STREAM_COMPACTOR_HPP_

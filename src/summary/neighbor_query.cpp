@@ -6,8 +6,6 @@
 
 namespace slugger::summary {
 
-namespace {
-
 /// The shared coverage pass of Algorithm 4: walks the ancestor chain of v
 /// (including the leaf {v} itself) and applies each incident superedge's
 /// signed coverage to scratch->count, recording touched subnodes. Reads
@@ -29,6 +27,26 @@ void AccumulateCoverage(const SummaryGraph& summary, NodeId v,
       });
     });
     node = forest.Parent(node);
+  }
+}
+
+namespace {
+
+/// Coverage magnitude that dominates any real summary's net on a pair, so
+/// an override decides presence no matter what the walk accumulated. Net
+/// coverage is bounded by the superedge count, far below INT32_MAX / 2.
+constexpr int32_t kForcedCoverage = INT32_MAX / 2;
+
+/// Merges overlay corrections into an accumulated coverage: after this,
+/// the normal positive-net extraction emits exactly the corrected
+/// adjacency. Duplicates in touched are benign — extraction zeroes each
+/// count on first visit, so revisits contribute nothing.
+void ApplyOverrides(std::span<const NeighborOverride> overrides,
+                    QueryScratch* scratch) {
+  for (const NeighborOverride& o : overrides) {
+    if (scratch->count[o.neighbor] == 0) scratch->touched.push_back(o.neighbor);
+    scratch->count[o.neighbor] =
+        o.sign > 0 ? kForcedCoverage : -kForcedCoverage;
   }
 }
 
@@ -239,7 +257,19 @@ void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
 
 const std::vector<NodeId>& QueryNeighbors(const SummaryGraph& summary,
                                           NodeId v, QueryScratch* scratch) {
+  return QueryNeighbors(summary, v, scratch, {});
+}
+
+size_t QueryDegree(const SummaryGraph& summary, NodeId v,
+                   QueryScratch* scratch) {
+  return QueryDegree(summary, v, scratch, {});
+}
+
+const std::vector<NodeId>& QueryNeighbors(
+    const SummaryGraph& summary, NodeId v, QueryScratch* scratch,
+    std::span<const NeighborOverride> overrides) {
   AccumulateCoverage(summary, v, scratch);
+  ApplyOverrides(overrides, scratch);
   scratch->result.clear();
   for (NodeId u : scratch->touched) {
     if (scratch->count[u] > 0 && u != v) scratch->result.push_back(u);
@@ -250,8 +280,10 @@ const std::vector<NodeId>& QueryNeighbors(const SummaryGraph& summary,
 }
 
 size_t QueryDegree(const SummaryGraph& summary, NodeId v,
-                   QueryScratch* scratch) {
+                   QueryScratch* scratch,
+                   std::span<const NeighborOverride> overrides) {
   AccumulateCoverage(summary, v, scratch);
+  ApplyOverrides(overrides, scratch);
   size_t degree = 0;
   for (NodeId u : scratch->touched) {
     degree += scratch->count[u] > 0 && u != v;

@@ -9,6 +9,7 @@
 #ifndef SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
 #define SLUGGER_SUMMARY_NEIGHBOR_QUERY_HPP_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -45,6 +46,55 @@ const std::vector<NodeId>& QueryNeighbors(const SummaryGraph& summary,
 /// pass. Thread-safe under the same contract as QueryNeighbors.
 size_t QueryDegree(const SummaryGraph& summary, NodeId v,
                    QueryScratch* scratch);
+
+/// One adjacency correction merged into the coverage walk: sign > 0
+/// forces `neighbor` into the answer, sign < 0 forces it out, regardless
+/// of the summary's own net coverage of the pair. This is the overlay
+/// hook of the dynamic-update subsystem (stream::EdgeOverlay): a summary
+/// stays immutable while a correction set layered on top mutates the
+/// represented graph, and queries merge the two right in the walk.
+struct NeighborOverride {
+  NodeId neighbor;
+  EdgeSign sign;
+};
+
+/// Sign of the override on `neighbor` in a list sorted by neighbor id
+/// (0 when absent) — the one lookup every override consumer shares, so
+/// membership probes can never diverge from the stored order.
+inline EdgeSign FindOverrideSign(std::span<const NeighborOverride> sorted,
+                                 NodeId neighbor) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), neighbor,
+                             [](const NeighborOverride& o, NodeId key) {
+                               return o.neighbor < key;
+                             });
+  return it != sorted.end() && it->neighbor == neighbor ? it->sign : 0;
+}
+
+/// QueryNeighbors with corrections: identical to the plain overload when
+/// `overrides` is empty; otherwise each override's subnode is forced
+/// present/absent in the answer. Every override neighbor must be a valid
+/// subnode id and appear at most once; an override for v itself is
+/// ignored (a simple graph has no self-loops). Same thread contract.
+const std::vector<NodeId>& QueryNeighbors(
+    const SummaryGraph& summary, NodeId v, QueryScratch* scratch,
+    std::span<const NeighborOverride> overrides);
+
+/// QueryDegree with corrections, under the QueryNeighbors contract.
+size_t QueryDegree(const SummaryGraph& summary, NodeId v,
+                   QueryScratch* scratch,
+                   std::span<const NeighborOverride> overrides);
+
+/// The raw coverage pass of Algorithm 4: walks the ancestor chain of v
+/// and leaves the NET signed coverage of every covered pair {v, u} in
+/// scratch->count[u], recording covered subnodes in scratch->touched
+/// (entries may repeat when coverage cancels and returns; count is
+/// authoritative). Exposed for consumers that need the magnitude, not
+/// just the sign — the stream compactor folds corrections by solving for
+/// the leaf-level superedge that flips a pair's net across zero. The
+/// caller MUST restore the between-queries scratch invariant afterwards:
+/// zero count over touched, then clear touched.
+void AccumulateCoverage(const SummaryGraph& summary, NodeId v,
+                        QueryScratch* scratch);
 
 /// Adjacency lists of one batched query, concatenated: the neighbors of
 /// the i-th input node are neighbors[offsets[i] .. offsets[i+1]), in the

@@ -22,6 +22,9 @@ std::string Status::ToString() const {
     case Code::kOutOfRange:
       name = "OutOfRange";
       break;
+    case Code::kAborted:
+      name = "Aborted";
+      break;
   }
   std::string out(name);
   if (!message_.empty()) {

@@ -21,6 +21,7 @@ class Status {
     kCorruption,
     kIOError,
     kOutOfRange,
+    kAborted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -40,6 +41,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -66,6 +66,31 @@ TEST_P(AlgsOnSummary, PageRankMatches) {
   }
 }
 
+TEST_P(AlgsOnSummary, BatchedSourceAdjacencyMatchesRaw) {
+  Instance inst = MakeInstance(GetParam());
+  // A small block size forces several batch sweeps over one instance.
+  BatchedSummarySource batched(inst.summary, 64);
+  ASSERT_EQ(batched.num_nodes(), inst.g.num_nodes());
+  for (NodeId u = 0; u < inst.g.num_nodes(); ++u) {
+    std::span<const NodeId> got = batched.Neighbors(u);
+    std::vector<NodeId> sorted(got.begin(), got.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::span<const NodeId> want = inst.g.Neighbors(u);
+    ASSERT_EQ(sorted, std::vector<NodeId>(want.begin(), want.end()))
+        << "node " << u;
+  }
+}
+
+TEST_P(AlgsOnSummary, PageRankBatchedMatchesRaw) {
+  Instance inst = MakeInstance(GetParam());
+  auto raw = PageRankOnGraph(inst.g, 0.85, 20);
+  auto batched = PageRankOnSummaryBatched(inst.summary, 0.85, 20);
+  ASSERT_EQ(raw.size(), batched.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_NEAR(raw[i], batched[i], 1e-12) << "node " << i;
+  }
+}
+
 TEST_P(AlgsOnSummary, DijkstraMatchesAndEqualsBfs) {
   Instance inst = MakeInstance(GetParam());
   NodeId start = 1;
