@@ -1,5 +1,7 @@
 #include "algs/bfs.hpp"
 
+#include "algs/summary_ops.hpp"
+
 namespace slugger::algs {
 
 std::vector<uint32_t> BfsOnGraph(const graph::Graph& g, NodeId start) {
@@ -9,8 +11,9 @@ std::vector<uint32_t> BfsOnGraph(const graph::Graph& g, NodeId start) {
 
 std::vector<uint32_t> BfsOnSummary(const summary::SummaryGraph& s,
                                    NodeId start) {
-  SummarySource src(s);
-  return BfsDistances(src, start);
+  // Hierarchy-native: level-synchronous frontier expansion through
+  // superedges, never materializing adjacency.
+  return BfsOnHierarchy(s, start);
 }
 
 }  // namespace slugger::algs

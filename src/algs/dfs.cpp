@@ -8,7 +8,9 @@ std::vector<NodeId> DfsOnGraph(const graph::Graph& g, NodeId start) {
 }
 
 std::vector<NodeId> DfsOnSummary(const summary::SummaryGraph& s, NodeId start) {
-  SummarySource src(s);
+  // The batched adapter materializes adjacency in amortized sweeps
+  // instead of one decode per visited node.
+  BatchedSummarySource src(s);
   return DfsPreorder(src, start);
 }
 

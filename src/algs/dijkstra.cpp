@@ -9,7 +9,9 @@ std::vector<uint64_t> DijkstraOnGraph(const graph::Graph& g, NodeId start) {
 
 std::vector<uint64_t> DijkstraOnSummary(const summary::SummaryGraph& s,
                                         NodeId start) {
-  SummarySource src(s);
+  // The batched adapter materializes adjacency in amortized sweeps
+  // instead of one decode per visited node.
+  BatchedSummarySource src(s);
   return DijkstraDistances(src, start);
 }
 

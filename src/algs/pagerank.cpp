@@ -1,5 +1,7 @@
 #include "algs/pagerank.hpp"
 
+#include "algs/summary_ops.hpp"
+
 namespace slugger::algs {
 
 std::vector<double> PageRankOnGraph(const graph::Graph& g, double d,
@@ -10,8 +12,9 @@ std::vector<double> PageRankOnGraph(const graph::Graph& g, double d,
 
 std::vector<double> PageRankOnSummary(const summary::SummaryGraph& s, double d,
                                       uint32_t iterations) {
-  SummarySource src(s);
-  return PageRank(src, d, iterations);
+  // Hierarchy-native: each round is one summary SpMV, O(|P| + |N| + n)
+  // instead of materializing adjacency and paying O(|E|).
+  return PageRankOnHierarchy(s, d, iterations);
 }
 
 std::vector<double> PageRankOnSummaryBatched(const summary::SummaryGraph& s,

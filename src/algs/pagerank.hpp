@@ -16,18 +16,23 @@ std::vector<double> PageRank(Source& src, double d, uint32_t iterations) {
   std::vector<double> rank(n, n ? 1.0 / n : 0.0);
   std::vector<double> next(n, 0.0);
   for (uint32_t t = 0; t < iterations; ++t) {
-    std::fill(next.begin(), next.end(), 0.0);
+    // Retained mass is tallied in the push loop (a node pushes all of its
+    // rank, so summing rank[u] over non-isolated u equals summing next),
+    // and the damping pass re-zeros next in place for the next round —
+    // two passes over the vectors per iteration instead of four.
+    double mass = 0.0;
     for (NodeId u = 0; u < n; ++u) {
       auto nbrs = src.Neighbors(u);
       if (nbrs.empty()) continue;
-      double share = rank[u] / static_cast<double>(nbrs.size());
+      const double share = rank[u] / static_cast<double>(nbrs.size());
+      mass += rank[u];
       for (NodeId w : nbrs) next[w] += share;
     }
-    double mass = 0.0;
-    for (double v : next) mass += v;
-    double teleport = (1.0 - d * mass) / static_cast<double>(n);
-    for (double& v : next) v = d * v + teleport;
-    rank.swap(next);
+    const double teleport = (1.0 - d * mass) / static_cast<double>(n);
+    for (NodeId v = 0; v < n; ++v) {
+      rank[v] = d * next[v] + teleport;
+      next[v] = 0.0;
+    }
   }
   return rank;
 }

@@ -1,0 +1,750 @@
+#include "algs/summary_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace slugger::algs {
+
+namespace {
+
+/// Below this many superedges the per-worker array zeroing and merge of
+/// the parallel SpMV cost more than the edge loop itself.
+constexpr size_t kMinParallelEdges = 2048;
+
+/// Scratch buffer selection by scalar type (double for PageRank, int64
+/// for frontier counts and degrees).
+template <typename T>
+struct Buffers;
+
+template <>
+struct Buffers<double> {
+  static std::vector<double>& permuted(SummaryOps::Scratch& s) { return s.permuted_d; }
+  static std::vector<double>& prefix(SummaryOps::Scratch& s) { return s.prefix_d; }
+  static std::vector<double>& diff(SummaryOps::Scratch& s) { return s.diff_d; }
+  static std::vector<double>& dcoef(SummaryOps::Scratch& s) { return s.dcoef_d; }
+  static std::vector<double>& worker(SummaryOps::Scratch& s) { return s.worker_d; }
+};
+
+template <>
+struct Buffers<int64_t> {
+  static std::vector<int64_t>& permuted(SummaryOps::Scratch& s) { return s.permuted_i; }
+  static std::vector<int64_t>& prefix(SummaryOps::Scratch& s) { return s.prefix_i; }
+  static std::vector<int64_t>& diff(SummaryOps::Scratch& s) { return s.diff_i; }
+  static std::vector<int64_t>& dcoef(SummaryOps::Scratch& s) { return s.dcoef_i; }
+  static std::vector<int64_t>& worker(SummaryOps::Scratch& s) { return s.worker_i; }
+};
+
+/// Runs fn over [0, n) — chunked across the pool when one is available,
+/// inline as worker 0 otherwise. Callers size per-worker accumulators by
+/// WorkerCount().
+void ForRange(ThreadPool* pool, uint64_t n, uint64_t grain,
+              const std::function<void(uint64_t, uint64_t, unsigned)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n <= grain) {
+    fn(0, n, 0);
+    return;
+  }
+  pool->ParallelFor(n, grain, fn);
+}
+
+unsigned WorkerCount(ThreadPool* pool) {
+  return pool == nullptr ? 1u : pool->size();
+}
+
+}  // namespace
+
+SummaryOps::SummaryOps(const summary::SummaryGraph& s)
+    : n_(s.num_leaves()),
+      summary_(&s),
+      layout_(s.forest().ComputeLeafLayout()) {
+  edges_.reserve(s.p_count() + s.n_count());
+  s.ForEachEdge([&](SupernodeId a, SupernodeId b, EdgeSign sign) {
+    Superedge e;
+    e.alo = layout_.lo[a];
+    e.ahi = layout_.hi[a];
+    e.blo = layout_.lo[b];
+    e.bhi = layout_.hi[b];
+    e.sign = sign;
+    e.self = (a == b) ? 1u : 0u;
+    e.a = a;
+    e.b = b;
+    edges_.push_back(e);
+  });
+}
+
+template <typename T>
+void SummaryOps::MultiplyImpl(std::span<const T> x, std::span<T> y,
+                              Scratch* scratch, ThreadPool* pool,
+                              std::span<const EdgeCorrection> corrections) const {
+  assert(x.size() == n_ && y.size() == n_);
+  if (n_ == 0) return;
+  std::vector<T>& permuted = Buffers<T>::permuted(*scratch);
+  std::vector<T>& prefix = Buffers<T>::prefix(*scratch);
+  std::vector<T>& diff = Buffers<T>::diff(*scratch);
+  std::vector<T>& dcoef = Buffers<T>::dcoef(*scratch);
+  const std::vector<NodeId>& leaf_at = layout_.leaf_at;
+
+  permuted.resize(n_);
+  for (uint32_t pos = 0; pos < n_; ++pos) permuted[pos] = x[leaf_at[pos]];
+  prefix.resize(size_t{n_} + 1);
+  prefix[0] = T{};
+  for (uint32_t pos = 0; pos < n_; ++pos) {
+    prefix[pos + 1] = prefix[pos] + permuted[pos];
+  }
+
+  // The per-superedge loop: each edge is O(1) — two interval sums off the
+  // prefix array, four difference-array updates (self-loops additionally
+  // push -sign onto the diagonal-coefficient array, which later excludes
+  // each leaf's own x from its block sum).
+  auto apply = [this, &prefix](size_t begin, size_t end, T* d, T* dc) {
+    for (size_t e = begin; e < end; ++e) {
+      const Superedge& se = edges_[e];
+      const T s = static_cast<T>(se.sign);
+      const T sum_a = s * (prefix[se.ahi] - prefix[se.alo]);
+      if (se.self == 0) {
+        const T sum_b = s * (prefix[se.bhi] - prefix[se.blo]);
+        d[se.alo] += sum_b;
+        d[se.ahi] -= sum_b;
+        d[se.blo] += sum_a;
+        d[se.bhi] -= sum_a;
+      } else {
+        d[se.alo] += sum_a;
+        d[se.ahi] -= sum_a;
+        dc[se.alo] -= s;
+        dc[se.ahi] += s;
+      }
+    }
+  };
+
+  const size_t m = edges_.size();
+  if (pool == nullptr || pool->size() <= 1 || m < kMinParallelEdges) {
+    diff.assign(size_t{n_} + 1, T{});
+    dcoef.assign(size_t{n_} + 1, T{});
+    apply(0, m, diff.data(), dcoef.data());
+  } else {
+    // Shard the edge list into one contiguous chunk per worker, each with
+    // its own pair of difference arrays (zeroed inside the task so the
+    // O(workers * n) wipe is itself parallel), then merge by position.
+    std::vector<T>& worker = Buffers<T>::worker(*scratch);
+    const size_t num_chunks = pool->size();
+    const size_t stride = 2 * (size_t{n_} + 1);
+    worker.resize(num_chunks * stride);
+    pool->Run(num_chunks, [&](uint64_t chunk, unsigned) {
+      T* wdiff = worker.data() + chunk * stride;
+      std::fill(wdiff, wdiff + stride, T{});
+      apply(m * chunk / num_chunks, m * (chunk + 1) / num_chunks, wdiff,
+            wdiff + n_ + 1);
+    });
+    diff.resize(size_t{n_} + 1);
+    dcoef.resize(size_t{n_} + 1);
+    pool->ParallelFor(
+        size_t{n_} + 1, 1 << 14, [&](uint64_t begin, uint64_t end, unsigned) {
+          for (uint64_t pos = begin; pos < end; ++pos) {
+            T d{};
+            T dc{};
+            for (size_t c = 0; c < num_chunks; ++c) {
+              d += worker[c * stride + pos];
+              dc += worker[c * stride + n_ + 1 + pos];
+            }
+            diff[pos] = d;
+            dcoef[pos] = dc;
+          }
+        });
+  }
+
+  T acc{};
+  T dacc{};
+  for (uint32_t pos = 0; pos < n_; ++pos) {
+    acc += diff[pos];
+    dacc += dcoef[pos];
+    y[leaf_at[pos]] = acc + dacc * permuted[pos];
+  }
+  // Overlay corrections: extra signed rank-1 terms on leaf pairs.
+  for (const EdgeCorrection& c : corrections) {
+    const T s = static_cast<T>(c.sign);
+    y[c.u] += s * x[c.v];
+    y[c.v] += s * x[c.u];
+  }
+}
+
+void SummaryOps::Multiply(std::span<const double> x, std::span<double> y,
+                          Scratch* scratch, ThreadPool* pool,
+                          std::span<const EdgeCorrection> corrections) const {
+  MultiplyImpl<double>(x, y, scratch, pool, corrections);
+}
+
+void SummaryOps::Multiply(std::span<const int64_t> x, std::span<int64_t> y,
+                          Scratch* scratch, ThreadPool* pool,
+                          std::span<const EdgeCorrection> corrections) const {
+  MultiplyImpl<int64_t>(x, y, scratch, pool, corrections);
+}
+
+std::vector<int64_t> SummaryOps::Degrees(
+    Scratch* scratch, ThreadPool* pool,
+    std::span<const EdgeCorrection> corrections) const {
+  std::vector<int64_t> ones(n_, 1);
+  std::vector<int64_t> deg(n_);
+  Multiply(std::span<const int64_t>(ones), std::span<int64_t>(deg), scratch,
+           pool, corrections);
+  return deg;
+}
+
+std::vector<uint32_t> SummaryOps::BfsDistances(
+    NodeId start, Scratch* scratch,
+    std::span<const EdgeCorrection> corrections) const {
+  std::vector<uint32_t> dist(n_, kUnreached);
+  if (n_ == 0) return dist;
+  assert(start < n_);
+
+  // Everything runs in leaf-preorder position space; only dist writes
+  // translate back to node ids. xp is the 0/1 frontier indicator; under
+  // the unit-coverage invariant y[pos] is then the exact count of
+  // frontier neighbors, so y > 0 is the discovery test.
+  std::vector<int64_t>& xp = scratch->permuted_i;
+  std::vector<int64_t>& prefix = scratch->prefix_i;
+  std::vector<int64_t>& diff = scratch->diff_i;
+  std::vector<int64_t>& dcoef = scratch->dcoef_i;
+  xp.assign(n_, 0);
+  prefix.resize(size_t{n_} + 1);
+  std::vector<int64_t> y(n_);
+  std::vector<uint8_t> visited(n_, 0);
+  std::vector<uint32_t> vis_prefix(size_t{n_} + 1);
+
+  std::vector<Superedge> active(edges_);
+  struct Corr {
+    uint32_t pu, pv;
+    int32_t sign;
+  };
+  std::vector<Corr> corr;
+  corr.reserve(corrections.size());
+  for (const EdgeCorrection& c : corrections) {
+    corr.push_back({layout_.rank[c.u], layout_.rank[c.v], c.sign});
+  }
+
+  const uint32_t pstart = layout_.rank[start];
+  visited[pstart] = 1;
+  dist[start] = 0;
+  xp[pstart] = 1;
+  uint64_t frontier = 1;
+  for (uint32_t level = 1; frontier > 0; ++level) {
+    prefix[0] = 0;
+    for (uint32_t pos = 0; pos < n_; ++pos) prefix[pos + 1] = prefix[pos] + xp[pos];
+    diff.assign(size_t{n_} + 1, 0);
+    dcoef.assign(size_t{n_} + 1, 0);
+    for (const Superedge& se : active) {
+      const int64_t raw_a = prefix[se.ahi] - prefix[se.alo];
+      if (se.self == 0) {
+        const int64_t raw_b = prefix[se.bhi] - prefix[se.blo];
+        if (raw_a == 0 && raw_b == 0) continue;  // no frontier mass nearby
+        const int64_t sum_a = se.sign * raw_a;
+        const int64_t sum_b = se.sign * raw_b;
+        diff[se.alo] += sum_b;
+        diff[se.ahi] -= sum_b;
+        diff[se.blo] += sum_a;
+        diff[se.bhi] -= sum_a;
+      } else {
+        if (raw_a == 0) continue;
+        const int64_t sum_a = se.sign * raw_a;
+        diff[se.alo] += sum_a;
+        diff[se.ahi] -= sum_a;
+        dcoef[se.alo] -= se.sign;
+        dcoef[se.ahi] += se.sign;
+      }
+    }
+    int64_t acc = 0;
+    int64_t dacc = 0;
+    for (uint32_t pos = 0; pos < n_; ++pos) {
+      acc += diff[pos];
+      dacc += dcoef[pos];
+      y[pos] = acc + dacc * xp[pos];
+    }
+    for (const Corr& c : corr) {
+      y[c.pu] += c.sign * xp[c.pv];
+      y[c.pv] += c.sign * xp[c.pu];
+    }
+
+    frontier = 0;
+    for (uint32_t pos = 0; pos < n_; ++pos) {
+      if (visited[pos] == 0 && y[pos] > 0) {
+        visited[pos] = 1;
+        dist[layout_.leaf_at[pos]] = level;
+        xp[pos] = 1;
+        ++frontier;
+      } else {
+        xp[pos] = 0;
+      }
+    }
+    if (frontier == 0) break;
+
+    // Visited-bitmask pruning: a superedge whose BOTH supernodes are
+    // fully visited can never discover a leaf again — its block updates
+    // land only on visited positions — so it is retired. Retired edges
+    // leave unvisited positions' coverage untouched, keeping y exact
+    // where the discovery test reads it.
+    vis_prefix[0] = 0;
+    for (uint32_t pos = 0; pos < n_; ++pos) {
+      vis_prefix[pos + 1] = vis_prefix[pos] + visited[pos];
+    }
+    auto fully_visited = [&vis_prefix](uint32_t lo, uint32_t hi) {
+      return vis_prefix[hi] - vis_prefix[lo] == hi - lo;
+    };
+    size_t kept = 0;
+    for (const Superedge& se : active) {
+      const bool dead = fully_visited(se.alo, se.ahi) &&
+                        (se.self != 0 || fully_visited(se.blo, se.bhi));
+      if (!dead) active[kept++] = se;
+    }
+    active.resize(kept);
+    size_t ckept = 0;
+    for (const Corr& c : corr) {
+      if (visited[c.pu] == 0 || visited[c.pv] == 0) corr[ckept++] = c;
+    }
+    corr.resize(ckept);
+  }
+  return dist;
+}
+
+uint64_t SummaryOps::CountTriangles(
+    ThreadPool* pool, std::span<const EdgeCorrection> corrections) const {
+  if (n_ < 3) return 0;
+  const std::vector<uint32_t>& rank = layout_.rank;
+  const unsigned workers = WorkerCount(pool);
+
+  // ---- split the combined edge set -----------------------------------
+  // Flat: both endpoints are leaves (plus every overlay correction), net
+  // weight per pair. Structural: a non-leaf side or a self-loop.
+  struct Flat {
+    uint32_t pu, pv;  ///< positions, pu < pv
+    int64_t w;
+  };
+  struct Structural {
+    uint32_t alo, ahi, blo, bhi;
+    int32_t sign;
+    uint32_t self;
+  };
+  std::vector<Flat> flat_raw;
+  std::vector<Structural> structural;
+  std::vector<uint32_t> structural_a, structural_b;  // supernode ids
+  for (const Superedge& se : edges_) {
+    if (se.self == 0 && se.ahi - se.alo == 1 && se.bhi - se.blo == 1) {
+      uint32_t pu = se.alo;
+      uint32_t pv = se.blo;
+      if (pu > pv) std::swap(pu, pv);
+      flat_raw.push_back({pu, pv, se.sign});
+    } else {
+      structural.push_back({se.alo, se.ahi, se.blo, se.bhi, se.sign, se.self});
+      structural_a.push_back(se.a);
+      structural_b.push_back(se.b);
+    }
+  }
+  for (const EdgeCorrection& c : corrections) {
+    uint32_t pu = rank[c.u];
+    uint32_t pv = rank[c.v];
+    if (pu > pv) std::swap(pu, pv);
+    flat_raw.push_back({pu, pv, c.sign});
+  }
+  // A base leaf-leaf superedge and a correction can hit the same pair;
+  // coverage is additive, so parallel entries merge to one net weight.
+  std::sort(flat_raw.begin(), flat_raw.end(), [](const Flat& a, const Flat& b) {
+    return a.pu != b.pu ? a.pu < b.pu : a.pv < b.pv;
+  });
+  std::vector<Flat> flat;
+  flat.reserve(flat_raw.size());
+  for (size_t i = 0; i < flat_raw.size();) {
+    size_t j = i;
+    int64_t w = 0;
+    while (j < flat_raw.size() && flat_raw[j].pu == flat_raw[i].pu &&
+           flat_raw[j].pv == flat_raw[i].pv) {
+      w += flat_raw[j].w;
+      ++j;
+    }
+    if (w != 0) flat.push_back({flat_raw[i].pu, flat_raw[i].pv, w});
+    i = j;
+  }
+
+  // ---- flat adjacency CSR in position space --------------------------
+  // Sorted neighbor positions with a global cumulative-weight array, so
+  // "signed flat mass from p into interval [lo, hi)" is two binary
+  // searches and one subtraction.
+  std::vector<uint64_t> off(size_t{n_} + 1, 0);
+  for (const Flat& f : flat) {
+    ++off[f.pu + 1];
+    ++off[f.pv + 1];
+  }
+  for (uint32_t pos = 0; pos < n_; ++pos) off[pos + 1] += off[pos];
+  std::vector<uint32_t> nbr_pos(flat.size() * 2);
+  std::vector<int64_t> nbr_w(flat.size() * 2);
+  {
+    std::vector<uint64_t> cursor(off.begin(), off.end() - 1);
+    for (const Flat& f : flat) {
+      nbr_pos[cursor[f.pu]] = f.pv;
+      nbr_w[cursor[f.pu]++] = f.w;
+      nbr_pos[cursor[f.pv]] = f.pu;
+      nbr_w[cursor[f.pv]++] = f.w;
+    }
+  }
+  ForRange(pool, n_, 1024, [&](uint64_t begin, uint64_t end, unsigned) {
+    std::vector<std::pair<uint32_t, int64_t>> tmp;
+    for (uint64_t p = begin; p < end; ++p) {
+      tmp.clear();
+      for (uint64_t k = off[p]; k < off[p + 1]; ++k) {
+        tmp.emplace_back(nbr_pos[k], nbr_w[k]);
+      }
+      std::sort(tmp.begin(), tmp.end());
+      for (size_t k = 0; k < tmp.size(); ++k) {
+        nbr_pos[off[p] + k] = tmp[k].first;
+        nbr_w[off[p] + k] = tmp[k].second;
+      }
+    }
+  });
+  std::vector<int64_t> wcum(nbr_w.size() + 1, 0);
+  for (size_t k = 0; k < nbr_w.size(); ++k) wcum[k + 1] = wcum[k] + nbr_w[k];
+  // Signed flat mass from p into positions [lo, hi). Always stays inside
+  // p's slice, so the global cumulative array subtracts cleanly.
+  auto flat_interval_sum = [&](uint32_t p, uint32_t lo, uint32_t hi) -> int64_t {
+    const uint32_t* base = nbr_pos.data();
+    const uint32_t* b = std::lower_bound(base + off[p], base + off[p + 1], lo);
+    const uint32_t* e = std::lower_bound(b, base + off[p + 1], hi);
+    return wcum[e - base] - wcum[b - base];
+  };
+
+  // ---- per-leaf structural link lists --------------------------------
+  // links[pos] = structural edges covering the leaf at that position, as
+  // (partner interval, sign, self). Discovered once per leaf by walking
+  // its ancestor chain over per-supernode incidence lists.
+  struct Link {
+    uint32_t ylo, yhi;
+    int32_t sign;
+    uint32_t self;
+  };
+  const summary::HierarchyForest& forest = summary_->forest();
+  std::vector<std::vector<uint32_t>> inc(layout_.lo.size());
+  for (size_t e = 0; e < structural.size(); ++e) {
+    inc[structural_a[e]].push_back(static_cast<uint32_t>(e));
+    if (structural_b[e] != structural_a[e]) {
+      inc[structural_b[e]].push_back(static_cast<uint32_t>(e));
+    }
+  }
+  std::vector<uint64_t> link_off(size_t{n_} + 1, 0);
+  for (uint32_t pos = 0; pos < n_; ++pos) {
+    uint64_t count = 0;
+    for (SupernodeId x = layout_.leaf_at[pos]; x != kInvalidId;
+         x = forest.Parent(x)) {
+      count += inc[x].size();
+    }
+    link_off[pos + 1] = count;
+  }
+  for (uint32_t pos = 0; pos < n_; ++pos) link_off[pos + 1] += link_off[pos];
+  std::vector<Link> links(link_off[n_]);
+  ForRange(pool, n_, 1024, [&](uint64_t begin, uint64_t end, unsigned) {
+    for (uint64_t pos = begin; pos < end; ++pos) {
+      uint64_t k = link_off[pos];
+      for (SupernodeId x = layout_.leaf_at[pos]; x != kInvalidId;
+           x = forest.Parent(x)) {
+        for (uint32_t e : inc[x]) {
+          const Structural& st = structural[e];
+          Link link;
+          link.sign = st.sign;
+          link.self = st.self;
+          if (st.self != 0 || x == structural_a[e]) {
+            // Self-loop partner is the supernode itself (minus the leaf);
+            // otherwise the leaf sits under side A, partner is B.
+            link.ylo = st.self != 0 ? st.alo : st.blo;
+            link.yhi = st.self != 0 ? st.ahi : st.bhi;
+          } else {
+            link.ylo = st.alo;
+            link.yhi = st.ahi;
+          }
+          links[k++] = link;
+        }
+      }
+    }
+  });
+
+  // ---- T0: all three sides flat --------------------------------------
+  // Signed triangle count over the flat graph, each triple once
+  // (smallest-two-positions edge owns it), weights multiplied.
+  std::vector<int64_t> acc0(workers, 0);
+  ForRange(pool, flat.size(), 256, [&](uint64_t begin, uint64_t end, unsigned w) {
+    int64_t local = 0;
+    for (uint64_t fi = begin; fi < end; ++fi) {
+      const Flat& f = flat[fi];
+      const uint32_t* base = nbr_pos.data();
+      const uint32_t* i = std::upper_bound(base + off[f.pu], base + off[f.pu + 1], f.pv);
+      const uint32_t* iend = base + off[f.pu + 1];
+      const uint32_t* j = std::upper_bound(base + off[f.pv], base + off[f.pv + 1], f.pv);
+      const uint32_t* jend = base + off[f.pv + 1];
+      int64_t sum = 0;
+      while (i < iend && j < jend) {
+        if (*i == *j) {
+          sum += nbr_w[i - base] * nbr_w[j - base];
+          ++i;
+          ++j;
+        } else if (*i < *j) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      local += f.w * sum;
+    }
+    acc0[w] += local;
+  });
+
+  // ---- T1: two flat sides, one structural ----------------------------
+  // For each directed flat edge (center -> anchor) and each structural
+  // link of the anchor, the third vertex ranges over the center's flat
+  // neighbors inside the partner interval (minus the anchor itself for
+  // self-loops). Every (wedge, cover) pair is found from both anchors,
+  // so the sum is exactly twice T1.
+  std::vector<int64_t> acc1(workers, 0);
+  ForRange(pool, flat.size(), 256, [&](uint64_t begin, uint64_t end, unsigned w) {
+    int64_t local = 0;
+    auto one_direction = [&](uint32_t center, uint32_t anchor, int64_t fw) {
+      for (uint64_t k = link_off[anchor]; k < link_off[anchor + 1]; ++k) {
+        const Link& l = links[k];
+        int64_t mass = flat_interval_sum(center, l.ylo, l.yhi);
+        if (l.self != 0) mass -= fw;  // exclude the anchor itself
+        local += l.sign * fw * mass;
+      }
+    };
+    for (uint64_t fi = begin; fi < end; ++fi) {
+      const Flat& f = flat[fi];
+      one_direction(f.pu, f.pv, f.w);
+      one_direction(f.pv, f.pu, f.w);
+    }
+    acc1[w] += local;
+  });
+
+  // ---- T2: one flat side, two structural -----------------------------
+  // For flat edge {u, v}, the apex w runs over the intersection of a
+  // partner interval of v and one of u; self-loop links exclude their
+  // own leaf from the partner set (w = u / w = v are excluded
+  // automatically: a partner set never contains its own leaf).
+  std::vector<int64_t> acc2(workers, 0);
+  ForRange(pool, flat.size(), 256, [&](uint64_t begin, uint64_t end, unsigned w) {
+    int64_t local = 0;
+    for (uint64_t fi = begin; fi < end; ++fi) {
+      const Flat& f = flat[fi];
+      for (uint64_t k1 = link_off[f.pv]; k1 < link_off[f.pv + 1]; ++k1) {
+        const Link& l1 = links[k1];
+        for (uint64_t k2 = link_off[f.pu]; k2 < link_off[f.pu + 1]; ++k2) {
+          const Link& l2 = links[k2];
+          const uint32_t lo = std::max(l1.ylo, l2.ylo);
+          const uint32_t hi = std::min(l1.yhi, l2.yhi);
+          if (lo >= hi) continue;
+          int64_t count = hi - lo;
+          if (l1.self != 0 && f.pv >= lo && f.pv < hi) --count;
+          if (l2.self != 0 && f.pu >= lo && f.pu < hi) --count;
+          local += f.w * l1.sign * l2.sign * count;
+        }
+      }
+    }
+    acc2[w] += local;
+  });
+
+  // ---- T3: all three sides structural --------------------------------
+  // 6 * T3 = tr(C^3) for C = sum of signed structural blocks (an integer
+  // symmetric matrix with zero diagonal). A triple's trace is nonzero
+  // only when the three edges pairwise overlap on some side, so the
+  // enumeration walks the side-overlap link graph: multisets {i,i,i} x1,
+  // {i,i,j} / {i,j,j} x3, {i,j,k} x6 (cyclic + reversal invariance of
+  // the trace on symmetric factors).
+  const size_t ms = structural.size();
+  std::vector<std::vector<uint32_t>> ladj(ms);  // forward neighbors j > i
+  ForRange(pool, ms, 16, [&](uint64_t begin, uint64_t end, unsigned) {
+    auto overlap = [](uint32_t alo, uint32_t ahi, uint32_t blo, uint32_t bhi) {
+      return std::max(alo, blo) < std::min(ahi, bhi);
+    };
+    for (uint64_t i = begin; i < end; ++i) {
+      const Structural& x = structural[i];
+      for (size_t j = i + 1; j < ms; ++j) {
+        const Structural& y = structural[j];
+        if (overlap(x.alo, x.ahi, y.alo, y.ahi) ||
+            overlap(x.alo, x.ahi, y.blo, y.bhi) ||
+            overlap(x.blo, x.bhi, y.alo, y.ahi) ||
+            overlap(x.blo, x.bhi, y.blo, y.bhi)) {
+          ladj[i].push_back(static_cast<uint32_t>(j));
+        }
+      }
+    }
+  });
+
+  // A structural block expands into at most two primitive terms: outer
+  // products chi_U chi_V^T, and for self-loops the diagonal correction
+  // -diag(chi_A). Traces of term triples are products of interval-clamp
+  // cardinalities (the interval family is laminar).
+  struct Term {
+    bool diag;
+    uint32_t ulo, uhi, vlo, vhi;  // diag terms use [ulo, uhi) only
+    int32_t w;
+  };
+  auto terms_of = [&structural](uint32_t e, Term out[2]) -> int {
+    const Structural& st = structural[e];
+    if (st.self == 0) {
+      out[0] = {false, st.alo, st.ahi, st.blo, st.bhi, 1};
+      out[1] = {false, st.blo, st.bhi, st.alo, st.ahi, 1};
+    } else {
+      out[0] = {false, st.alo, st.ahi, st.alo, st.ahi, 1};
+      out[1] = {true, st.alo, st.ahi, 0, 0, -1};
+    }
+    return 2;
+  };
+  auto trace_of_terms = [](const Term* t0, const Term* t1, const Term* t2) -> int64_t {
+    const Term* t[3] = {t0, t1, t2};
+    const int diags = int(t[0]->diag) + int(t[1]->diag) + int(t[2]->diag);
+    // The trace is cyclic-invariant; rotate diag terms to the tail so
+    // only four patterns remain (OOO, OOD, ODD, DDD).
+    while ((diags == 1 && !t[2]->diag) || (diags == 2 && t[0]->diag)) {
+      const Term* tmp = t[0];
+      t[0] = t[1];
+      t[1] = t[2];
+      t[2] = tmp;
+    }
+    const int64_t w = int64_t{t[0]->w} * t[1]->w * t[2]->w;
+    auto clamp2 = [](uint32_t alo, uint32_t ahi, uint32_t blo, uint32_t bhi) -> int64_t {
+      const uint32_t lo = std::max(alo, blo);
+      const uint32_t hi = std::min(ahi, bhi);
+      return lo < hi ? int64_t{hi} - lo : 0;
+    };
+    switch (diags) {
+      case 0:
+        // tr(O1 O2 O3) = |V1 ^ U2| |V2 ^ U3| |V3 ^ U1|
+        return w * clamp2(t[0]->vlo, t[0]->vhi, t[1]->ulo, t[1]->uhi) *
+               clamp2(t[1]->vlo, t[1]->vhi, t[2]->ulo, t[2]->uhi) *
+               clamp2(t[2]->vlo, t[2]->vhi, t[0]->ulo, t[0]->uhi);
+      case 1: {
+        // tr(O1 O2 D) = |V1 ^ U2| |U1 ^ V2 ^ W|
+        const uint32_t lo = std::max({t[0]->ulo, t[1]->vlo, t[2]->ulo});
+        const uint32_t hi = std::min({t[0]->uhi, t[1]->vhi, t[2]->uhi});
+        return w * clamp2(t[0]->vlo, t[0]->vhi, t[1]->ulo, t[1]->uhi) *
+               (lo < hi ? int64_t{hi} - lo : 0);
+      }
+      case 2: {
+        // tr(O D1 D2) = |U ^ V ^ W1 ^ W2|
+        const uint32_t lo = std::max({t[0]->ulo, t[0]->vlo, t[1]->ulo, t[2]->ulo});
+        const uint32_t hi = std::min({t[0]->uhi, t[0]->vhi, t[1]->uhi, t[2]->uhi});
+        return w * (lo < hi ? int64_t{hi} - lo : 0);
+      }
+      default: {
+        // tr(D1 D2 D3) = |W1 ^ W2 ^ W3|
+        const uint32_t lo = std::max({t[0]->ulo, t[1]->ulo, t[2]->ulo});
+        const uint32_t hi = std::min({t[0]->uhi, t[1]->uhi, t[2]->uhi});
+        return w * (lo < hi ? int64_t{hi} - lo : 0);
+      }
+    }
+  };
+  auto trace_triple = [&](uint32_t e1, uint32_t e2, uint32_t e3) -> int64_t {
+    Term a[2], b[2], c[2];
+    const int na = terms_of(e1, a);
+    const int nb = terms_of(e2, b);
+    const int nc = terms_of(e3, c);
+    int64_t total = 0;
+    for (int i = 0; i < na; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        for (int k = 0; k < nc; ++k) {
+          total += trace_of_terms(&a[i], &b[j], &c[k]);
+        }
+      }
+    }
+    return total;
+  };
+
+  std::vector<int64_t> acc3(workers, 0);  // accumulates tr(C^3)
+  ForRange(pool, ms, 8, [&](uint64_t begin, uint64_t end, unsigned w) {
+    int64_t local = 0;
+    for (uint64_t i = begin; i < end; ++i) {
+      const int64_t si = structural[i].sign;
+      local += si * si * si * trace_triple(i, i, i);
+      const std::vector<uint32_t>& ni = ladj[i];
+      for (size_t a = 0; a < ni.size(); ++a) {
+        const uint32_t j = ni[a];
+        const int64_t sj = structural[j].sign;
+        local += 3 * si * si * sj * trace_triple(i, i, j);
+        local += 3 * si * sj * sj * trace_triple(i, j, j);
+        // Common forward neighbors k > j of i and j close a triple.
+        const std::vector<uint32_t>& nj = ladj[j];
+        size_t p = a + 1;
+        size_t q = 0;
+        while (p < ni.size() && q < nj.size()) {
+          if (ni[p] == nj[q]) {
+            const uint32_t k = ni[p];
+            local += 6 * si * sj * structural[k].sign * trace_triple(i, j, k);
+            ++p;
+            ++q;
+          } else if (ni[p] < nj[q]) {
+            ++p;
+          } else {
+            ++q;
+          }
+        }
+      }
+    }
+    acc3[w] += local;
+  });
+
+  int64_t t0 = 0, t1x2 = 0, t2 = 0, t3x6 = 0;
+  for (unsigned w = 0; w < workers; ++w) {
+    t0 += acc0[w];
+    t1x2 += acc1[w];
+    t2 += acc2[w];
+    t3x6 += acc3[w];
+  }
+  assert(t1x2 % 2 == 0);
+  assert(t3x6 % 6 == 0);
+  const int64_t total = t0 + t1x2 / 2 + t2 + t3x6 / 6;
+  assert(total >= 0);
+  return static_cast<uint64_t>(total);
+}
+
+std::vector<double> PageRankOnHierarchy(
+    const summary::SummaryGraph& s, double d, uint32_t iterations,
+    ThreadPool* pool, std::span<const EdgeCorrection> corrections) {
+  SummaryOps ops(s);
+  SummaryOps::Scratch scratch;
+  const NodeId n = ops.num_nodes();
+  std::vector<double> rank(n, n ? 1.0 / n : 0.0);
+  if (n == 0) return rank;
+  const std::vector<int64_t> deg = ops.Degrees(&scratch, pool, corrections);
+  std::vector<double> scaled(n);
+  std::vector<double> y(n);
+  for (uint32_t t = 0; t < iterations; ++t) {
+    // Same recurrence as the edge-cost kernel: push rank[u] / deg(u),
+    // with the retained mass (isolated nodes push nothing) feeding the
+    // uniform teleport term.
+    double mass = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (deg[u] > 0) {
+        scaled[u] = rank[u] / static_cast<double>(deg[u]);
+        mass += rank[u];
+      } else {
+        scaled[u] = 0.0;
+      }
+    }
+    ops.Multiply(std::span<const double>(scaled), std::span<double>(y),
+                 &scratch, pool, corrections);
+    const double teleport = (1.0 - d * mass) / static_cast<double>(n);
+    for (NodeId v = 0; v < n; ++v) rank[v] = d * y[v] + teleport;
+  }
+  return rank;
+}
+
+std::vector<uint32_t> BfsOnHierarchy(
+    const summary::SummaryGraph& s, NodeId start,
+    std::span<const EdgeCorrection> corrections) {
+  SummaryOps ops(s);
+  SummaryOps::Scratch scratch;
+  return ops.BfsDistances(start, &scratch, corrections);
+}
+
+uint64_t TrianglesOnHierarchy(const summary::SummaryGraph& s, ThreadPool* pool,
+                              std::span<const EdgeCorrection> corrections) {
+  SummaryOps ops(s);
+  return ops.CountTriangles(pool, corrections);
+}
+
+}  // namespace slugger::algs

@@ -1,5 +1,7 @@
 #include "algs/triangles.hpp"
 
+#include "algs/summary_ops.hpp"
+
 namespace slugger::algs {
 
 uint64_t TrianglesOnGraph(const graph::Graph& g) {
@@ -8,8 +10,9 @@ uint64_t TrianglesOnGraph(const graph::Graph& g) {
 }
 
 uint64_t TrianglesOnSummary(const summary::SummaryGraph& s) {
-  SummarySource src(s);
-  return CountTriangles(src);
+  // Hierarchy-native: per superedge-pair block counting with
+  // inclusion-exclusion, at summary cost.
+  return TrianglesOnHierarchy(s);
 }
 
 }  // namespace slugger::algs

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "algs/summary_ops.hpp"
 #include "summary/decode.hpp"
 #include "summary/serialize.hpp"
 #include "summary/verify.hpp"
@@ -231,6 +232,24 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
     }
   });
   return Status::OK();
+}
+
+std::vector<double> CompressedGraph::PageRank(double d, uint32_t iterations,
+                                              ThreadPool* pool) const {
+  return algs::PageRankOnHierarchy(summary_, d, iterations, pool);
+}
+
+std::vector<uint32_t> CompressedGraph::Bfs(NodeId start) const {
+  if (start >= summary_.num_leaves()) {
+    // Same absorb-hostile-ids stance as Neighbors(): nothing is reachable
+    // from a node that does not exist.
+    return std::vector<uint32_t>(summary_.num_leaves(), algs::kUnreached);
+  }
+  return algs::BfsOnHierarchy(summary_, start);
+}
+
+uint64_t CompressedGraph::Triangles(ThreadPool* pool) const {
+  return algs::TrianglesOnHierarchy(summary_, pool);
 }
 
 graph::Graph CompressedGraph::Decode(ThreadPool* pool) const {

@@ -100,6 +100,22 @@ class CompressedGraph {
   Status DegreeBatch(std::span<const NodeId> nodes,
                      std::vector<uint64_t>* degrees, ThreadPool* pool) const;
 
+  /// Hierarchy-native analytics (algs/summary_ops): evaluated directly on
+  /// the compressed structure at O(n + |P| + |N|) per pass instead of
+  /// O(|E|), with results exactly matching the same algorithm run on
+  /// Decode() (PageRank up to summation-order rounding). Safe to call
+  /// concurrently; a pool parallelizes the per-superedge loops and must
+  /// not be shared with an enclosing pool job.
+  std::vector<double> PageRank(double d = 0.85, uint32_t iterations = 20,
+                               ThreadPool* pool = nullptr) const;
+
+  /// Hop distances from `start`; unreachable nodes (and every node, if
+  /// `start` is out of range) get 0xFFFFFFFF.
+  std::vector<uint32_t> Bfs(NodeId start) const;
+
+  /// Exact global triangle count of the represented graph.
+  uint64_t Triangles(ThreadPool* pool = nullptr) const;
+
   /// Reconstructs the exact represented graph. With a pool,
   /// reconstruction is parallel and byte-identical to the sequential one.
   graph::Graph Decode(ThreadPool* pool = nullptr) const;

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "algs/summary_ops.hpp"
 #include "summary/neighbor_query.hpp"
 
 namespace slugger {
@@ -337,6 +338,45 @@ DynamicGraphStats DynamicGraph::stats() const {
   out.base_version = s->base_version;
   out.base_cost = s->base->stats().cost;
   return out;
+}
+
+namespace {
+
+/// The pinned overlay as summary-SpMV correction terms. The overlay
+/// invariant (+1 pairs absent from the base, -1 pairs present) is
+/// exactly the EdgeCorrection contract, so no reconciliation is needed.
+std::vector<algs::EdgeCorrection> OverlayCorrections(
+    const stream::EdgeOverlay& overlay) {
+  std::vector<algs::EdgeCorrection> corrections;
+  corrections.reserve(overlay.correction_count());
+  overlay.ForEachCorrection([&corrections](NodeId u, NodeId v, EdgeSign sign) {
+    corrections.push_back({u, v, sign});
+  });
+  return corrections;
+}
+
+}  // namespace
+
+std::vector<double> DynamicGraph::PageRank(double d, uint32_t iterations,
+                                           ThreadPool* pool) const {
+  std::shared_ptr<const State> s = CurrentState();
+  return algs::PageRankOnHierarchy(s->base->summary(), d, iterations, pool,
+                                   OverlayCorrections(*s->overlay));
+}
+
+std::vector<uint32_t> DynamicGraph::Bfs(NodeId start) const {
+  std::shared_ptr<const State> s = CurrentState();
+  if (start >= num_nodes_) {
+    return std::vector<uint32_t>(num_nodes_, algs::kUnreached);
+  }
+  return algs::BfsOnHierarchy(s->base->summary(), start,
+                              OverlayCorrections(*s->overlay));
+}
+
+uint64_t DynamicGraph::Triangles(ThreadPool* pool) const {
+  std::shared_ptr<const State> s = CurrentState();
+  return algs::TrianglesOnHierarchy(s->base->summary(), pool,
+                                    OverlayCorrections(*s->overlay));
 }
 
 graph::Graph DynamicGraph::Decode() const {

@@ -175,6 +175,17 @@ class DynamicGraph {
 
   DynamicGraphStats stats() const;
 
+  /// Hierarchy-native analytics over the MUTATED graph: the pinned
+  /// state's overlay corrections enter the summary SpMV as extra signed
+  /// rank-1 terms (algs/summary_ops), so results match running the same
+  /// algorithm on Decode() — live, without waiting for compaction. Same
+  /// concurrency contract as the other reads: never blocks on writers,
+  /// any number of concurrent callers.
+  std::vector<double> PageRank(double d = 0.85, uint32_t iterations = 20,
+                               ThreadPool* pool = nullptr) const;
+  std::vector<uint32_t> Bfs(NodeId start) const;
+  uint64_t Triangles(ThreadPool* pool = nullptr) const;
+
   /// The exact mutated graph (base decode + overlay), for verification
   /// and export.
   graph::Graph Decode() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace slugger::summary {
 
@@ -130,6 +131,41 @@ std::vector<uint32_t> HierarchyForest::ComputeLeafPreorder() const {
     ForEachLeafWith(&stack, s, [&](NodeId leaf) { rank[leaf] = next++; });
   }
   return rank;
+}
+
+HierarchyForest::LeafLayout HierarchyForest::ComputeLeafLayout() const {
+  LeafLayout layout;
+  layout.rank.assign(num_leaves_, 0);
+  layout.leaf_at.assign(num_leaves_, 0);
+  layout.lo.assign(capacity(), 0);
+  layout.hi.assign(capacity(), 0);
+  uint32_t next = 0;
+  // Two-phase DFS: a frame is revisited after its subtree is numbered, at
+  // which point [lo, next) is exactly its leaf interval.
+  std::vector<std::pair<SupernodeId, bool>> stack;
+  for (SupernodeId s = 0; s < capacity(); ++s) {
+    if (!IsRoot(s)) continue;
+    stack.push_back({s, false});
+    while (!stack.empty()) {
+      auto [x, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        layout.hi[x] = next;
+        continue;
+      }
+      layout.lo[x] = next;
+      if (IsLeaf(x)) {
+        layout.rank[x] = next;
+        layout.leaf_at[next] = static_cast<NodeId>(x);
+        ++next;
+        layout.hi[x] = next;
+        continue;
+      }
+      stack.push_back({x, true});
+      for (SupernodeId c : children_[x]) stack.push_back({c, false});
+    }
+  }
+  return layout;
 }
 
 std::vector<SupernodeId> HierarchyForest::ComputeRootMap() const {

@@ -119,6 +119,22 @@ class HierarchyForest {
   /// path wants, at one integer comparison per pair.
   std::vector<uint32_t> ComputeLeafPreorder() const;
 
+  /// The leaf preorder plus its inverse and, per supernode, the rank
+  /// interval its leaves occupy. This is the bottom-up aggregate substrate
+  /// of the summary-domain analytics layer (algs/summary_ops): because the
+  /// interval family of a forest is laminar, any per-supernode aggregate
+  /// over leaf values (sum, count, frontier mass) is one prefix-sum
+  /// difference, and any supernode-pair intersection is an interval clamp.
+  struct LeafLayout {
+    std::vector<uint32_t> rank;     ///< leaf -> preorder position
+    std::vector<NodeId> leaf_at;    ///< preorder position -> leaf
+    /// Leaves of supernode s occupy positions [lo[s], hi[s]); capacity()
+    /// entries, with lo == hi == 0 for dead supernodes.
+    std::vector<uint32_t> lo;
+    std::vector<uint32_t> hi;
+  };
+  LeafLayout ComputeLeafLayout() const;
+
  private:
   NodeId num_leaves_ = 0;
   std::vector<SupernodeId> parent_;
