@@ -1,11 +1,15 @@
 #include "api/compressed_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <numeric>
 #include <string>
 #include <utility>
 
 #include "algs/summary_ops.hpp"
+#include "storage/paged_source.hpp"
+#include "storage/storage.hpp"
 #include "summary/decode.hpp"
 #include "summary/serialize.hpp"
 #include "summary/verify.hpp"
@@ -71,27 +75,114 @@ ShardRange ShardBounds(size_t batch, size_t shard, size_t shards) {
 
 }  // namespace
 
+// States: 0 = serving paged, 1 = materialized (summary/leaf_rank set),
+// 2 = materialization failed (error set; queries keep serving paged).
+struct CompressedGraph::PagedBox {
+  std::shared_ptr<storage::PagedSummarySource> source;
+  std::mutex mu;
+  std::atomic<int> state{0};
+  std::shared_ptr<const summary::SummaryGraph> summary;
+  std::shared_ptr<const std::vector<uint32_t>> leaf_rank;
+  Status error;
+};
+
 CompressedGraph::CompressedGraph(summary::SummaryGraph summary)
     : summary_(std::move(summary)),
       stats_(summary::ComputeStats(summary_)),
-      leaf_rank_(summary_.forest().ComputeLeafPreorder()) {}
+      leaf_rank_(summary_.forest().ComputeLeafPreorder()),
+      num_nodes_(summary_.num_leaves()) {}
 
 CompressedGraph::CompressedGraph(summary::SummaryGraph summary,
                                  summary::SummaryStats stats)
     : summary_(std::move(summary)),
       stats_(stats),
-      leaf_rank_(summary_.forest().ComputeLeafPreorder()) {}
+      leaf_rank_(summary_.forest().ComputeLeafPreorder()),
+      num_nodes_(summary_.num_leaves()) {}
+
+CompressedGraph::CompressedGraph(
+    std::shared_ptr<storage::PagedSummarySource> source)
+    : stats_(source->Stats()),
+      num_nodes_(source->num_leaves()),
+      box_(std::make_shared<PagedBox>()) {
+  box_->source = std::move(source);
+}
+
+bool CompressedGraph::ServePaged() const {
+  return box_ != nullptr && box_->state.load(std::memory_order_acquire) != 1;
+}
+
+bool CompressedGraph::paged() const { return ServePaged(); }
+
+std::shared_ptr<storage::PagedSummarySource> CompressedGraph::paged_source()
+    const {
+  return box_ ? box_->source : nullptr;
+}
+
+const summary::SummaryGraph& CompressedGraph::ActiveSummary() const {
+  if (box_ && box_->state.load(std::memory_order_acquire) == 1) {
+    return *box_->summary;
+  }
+  return summary_;
+}
+
+const std::vector<uint32_t>& CompressedGraph::ActiveLeafRank() const {
+  if (box_ && box_->state.load(std::memory_order_acquire) == 1) {
+    return *box_->leaf_rank;
+  }
+  return leaf_rank_;
+}
+
+Status CompressedGraph::Materialize() const {
+  if (!box_) return Status::OK();
+  if (box_->state.load(std::memory_order_acquire) == 1) return Status::OK();
+  std::lock_guard<std::mutex> lock(box_->mu);
+  const int state = box_->state.load(std::memory_order_relaxed);
+  if (state == 1) return Status::OK();
+  if (state == 2) return box_->error;
+  StatusOr<summary::SummaryGraph> rebuilt = box_->source->Materialize();
+  if (!rebuilt.ok()) {
+    box_->error = rebuilt.status();
+    box_->state.store(2, std::memory_order_release);
+    return box_->error;
+  }
+  auto owned = std::make_shared<const summary::SummaryGraph>(
+      std::move(rebuilt).value());
+  box_->leaf_rank = std::make_shared<const std::vector<uint32_t>>(
+      owned->forest().ComputeLeafPreorder());
+  box_->summary = std::move(owned);
+  box_->state.store(1, std::memory_order_release);
+  return Status::OK();
+}
+
+const summary::SummaryGraph& CompressedGraph::summary() const {
+  if (box_) (void)Materialize();
+  return ActiveSummary();
+}
 
 const std::vector<NodeId>& CompressedGraph::Neighbors(
     NodeId v, QueryScratch* scratch) const {
-  if (v >= summary_.num_leaves()) {
+  return Neighbors(v, scratch, {});
+}
+
+const std::vector<NodeId>& CompressedGraph::Neighbors(
+    NodeId v, QueryScratch* scratch,
+    std::span<const NeighborOverride> overrides) const {
+  if (v >= num_nodes_) {
     // The core query path asserts v is in range (walking ForEachEdgeOf on
     // an arbitrary id is undefined behavior); the facade absorbs hostile
     // ids here instead.
     scratch->result.clear();
     return scratch->result;
   }
-  return summary::QueryNeighbors(summary_, v, scratch);
+  if (ServePaged()) {
+    // This overload has no error channel, so a paged I/O or corruption
+    // failure degrades to an empty list; the batch APIs surface it.
+    if (!box_->source->Neighbors(v, scratch, overrides).ok()) {
+      scratch->result.clear();
+    }
+    return scratch->result;
+  }
+  return summary::QueryNeighbors(ActiveSummary(), v, scratch, overrides);
 }
 
 const std::vector<NodeId>& CompressedGraph::Neighbors(NodeId v) const {
@@ -99,8 +190,18 @@ const std::vector<NodeId>& CompressedGraph::Neighbors(NodeId v) const {
 }
 
 size_t CompressedGraph::Degree(NodeId v, QueryScratch* scratch) const {
-  if (v >= summary_.num_leaves()) return 0;
-  return summary::QueryDegree(summary_, v, scratch);
+  return Degree(v, scratch, {});
+}
+
+size_t CompressedGraph::Degree(
+    NodeId v, QueryScratch* scratch,
+    std::span<const NeighborOverride> overrides) const {
+  if (v >= num_nodes_) return 0;
+  if (ServePaged()) {
+    StatusOr<uint64_t> degree = box_->source->Degree(v, scratch, overrides);
+    return degree.ok() ? static_cast<size_t>(degree.value()) : 0;
+  }
+  return summary::QueryDegree(ActiveSummary(), v, scratch, overrides);
 }
 
 size_t CompressedGraph::Degree(NodeId v) const {
@@ -109,11 +210,11 @@ size_t CompressedGraph::Degree(NodeId v) const {
 
 Status CompressedGraph::ValidateBatch(std::span<const NodeId> nodes) const {
   for (size_t i = 0; i < nodes.size(); ++i) {
-    if (nodes[i] >= summary_.num_leaves()) {
+    if (nodes[i] >= num_nodes_) {
       return Status::InvalidArgument(
           "batch node id " + std::to_string(nodes[i]) + " at position " +
           std::to_string(i) + " is out of range (graph has " +
-          std::to_string(summary_.num_leaves()) + " nodes)");
+          std::to_string(num_nodes_) + " nodes)");
     }
   }
   return Status::OK();
@@ -124,7 +225,9 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
                                        BatchScratch* scratch) const {
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
-  summary::QueryNeighborsBatch(summary_, nodes, out, scratch, &leaf_rank_);
+  if (ServePaged()) return box_->source->NeighborsBatch(nodes, out, scratch);
+  summary::QueryNeighborsBatch(ActiveSummary(), nodes, out, scratch,
+                               &ActiveLeafRank());
   return Status::OK();
 }
 
@@ -137,7 +240,10 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
                                        BatchResult* out,
                                        ThreadPool* pool) const {
   if (pool == nullptr || pool->size() <= 1 ||
-      nodes.size() < kMinParallelBatch) {
+      nodes.size() < kMinParallelBatch || ServePaged()) {
+    // Paged handles stay sequential: the batch already amortizes page
+    // faults via file-preorder, and shards would contend on the record
+    // cache for little gain.
     return NeighborsBatch(nodes, out);
   }
   Status valid = ValidateBatch(nodes);
@@ -147,20 +253,22 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
   // worker a contiguous slice of the sorted order: shards keep the
   // ancestor-chain amortization and re-sorting a presorted slice inside
   // QueryNeighborsBatch is near-free.
+  const summary::SummaryGraph& active = ActiveSummary();
+  const std::vector<uint32_t>& leaf_rank = ActiveLeafRank();
   const size_t batch = nodes.size();
   std::vector<uint32_t> order;
   std::vector<NodeId> sorted_nodes;
-  SortBatchByRank(nodes, leaf_rank_, &order, &sorted_nodes);
+  SortBatchByRank(nodes, leaf_rank, &order, &sorted_nodes);
 
   const size_t shards = pool->size();
   std::vector<BatchResult> shard_results(shards);
   pool->Run(shards, [&](uint64_t shard, unsigned) {
     const ShardRange range = ShardBounds(batch, shard, shards);
     summary::QueryNeighborsBatch(
-        summary_,
+        active,
         std::span<const NodeId>(sorted_nodes)
             .subspan(range.begin, range.end - range.begin),
-        &shard_results[shard], &ThreadLocalBatchScratch(), &leaf_rank_);
+        &shard_results[shard], &ThreadLocalBatchScratch(), &leaf_rank);
   });
 
   // Stitch shard answers (sorted order) back into input order.
@@ -191,7 +299,9 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
                                     BatchScratch* scratch) const {
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
-  summary::QueryDegreeBatch(summary_, nodes, degrees, scratch, &leaf_rank_);
+  if (ServePaged()) return box_->source->DegreeBatch(nodes, degrees, scratch);
+  summary::QueryDegreeBatch(ActiveSummary(), nodes, degrees, scratch,
+                            &ActiveLeafRank());
   return Status::OK();
 }
 
@@ -204,16 +314,18 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
                                     std::vector<uint64_t>* degrees,
                                     ThreadPool* pool) const {
   if (pool == nullptr || pool->size() <= 1 ||
-      nodes.size() < kMinParallelBatch) {
+      nodes.size() < kMinParallelBatch || ServePaged()) {
     return DegreeBatch(nodes, degrees);
   }
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
 
+  const summary::SummaryGraph& active = ActiveSummary();
+  const std::vector<uint32_t>& leaf_rank = ActiveLeafRank();
   const size_t batch = nodes.size();
   std::vector<uint32_t> order;
   std::vector<NodeId> sorted_nodes;
-  SortBatchByRank(nodes, leaf_rank_, &order, &sorted_nodes);
+  SortBatchByRank(nodes, leaf_rank, &order, &sorted_nodes);
 
   degrees->assign(batch, 0);
   const size_t shards = pool->size();
@@ -221,10 +333,10 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
     const ShardRange range = ShardBounds(batch, shard, shards);
     std::vector<uint64_t> local;
     summary::QueryDegreeBatch(
-        summary_,
+        active,
         std::span<const NodeId>(sorted_nodes)
             .subspan(range.begin, range.end - range.begin),
-        &local, &ThreadLocalBatchScratch(), &leaf_rank_);
+        &local, &ThreadLocalBatchScratch(), &leaf_rank);
     // Shards own disjoint ranges of the order permutation, so these
     // writes never alias across workers.
     for (size_t k = 0; k < local.size(); ++k) {
@@ -236,51 +348,60 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
 
 std::vector<double> CompressedGraph::PageRank(double d, uint32_t iterations,
                                               ThreadPool* pool) const {
-  return algs::PageRankOnHierarchy(summary_, d, iterations, pool);
+  if (box_ && !Materialize().ok()) return {};
+  return algs::PageRankOnHierarchy(ActiveSummary(), d, iterations, pool);
 }
 
 std::vector<uint32_t> CompressedGraph::Bfs(NodeId start) const {
-  if (start >= summary_.num_leaves()) {
+  if (start >= num_nodes_ || (box_ && !Materialize().ok())) {
     // Same absorb-hostile-ids stance as Neighbors(): nothing is reachable
-    // from a node that does not exist.
-    return std::vector<uint32_t>(summary_.num_leaves(), algs::kUnreached);
+    // from a node that does not exist (or a summary that cannot load).
+    return std::vector<uint32_t>(num_nodes_, algs::kUnreached);
   }
-  return algs::BfsOnHierarchy(summary_, start);
+  return algs::BfsOnHierarchy(ActiveSummary(), start);
 }
 
 uint64_t CompressedGraph::Triangles(ThreadPool* pool) const {
-  return algs::TrianglesOnHierarchy(summary_, pool);
+  if (box_ && !Materialize().ok()) return 0;
+  return algs::TrianglesOnHierarchy(ActiveSummary(), pool);
 }
 
 graph::Graph CompressedGraph::Decode(ThreadPool* pool) const {
-  return summary::Decode(summary_, pool);
+  if (box_) (void)Materialize();
+  return summary::Decode(ActiveSummary(), pool);
 }
 
 Status CompressedGraph::Verify(const graph::Graph& expected,
                                ThreadPool* pool) const {
-  return summary::VerifyLossless(expected, summary_, pool);
+  Status ready = Materialize();
+  if (!ready.ok()) return ready;
+  return summary::VerifyLossless(expected, ActiveSummary(), pool);
 }
 
 Status CompressedGraph::Save(const std::string& path) const {
-  return summary::SaveSummary(summary_, path);
+  storage::SaveOptions options;
+  options.format = storage::Format::kMonolithicV1;
+  return storage::Save(*this, path, options);
 }
 
 StatusOr<CompressedGraph> CompressedGraph::Load(const std::string& path) {
-  StatusOr<summary::SummaryGraph> loaded = summary::LoadSummary(path);
-  if (!loaded.ok()) return loaded.status();
-  return CompressedGraph(std::move(loaded).value());
+  storage::OpenOptions options;
+  options.mode = storage::OpenOptions::Mode::kInMemory;
+  return storage::Open(path, options);
 }
 
 std::string CompressedGraph::Serialize() const {
-  return summary::SerializeSummary(summary_);
+  storage::SaveOptions options;
+  options.format = storage::Format::kMonolithicV1;
+  StatusOr<std::string> bytes = storage::Serialize(*this, options);
+  return bytes.ok() ? std::move(bytes).value() : std::string();
 }
 
 StatusOr<CompressedGraph> CompressedGraph::Deserialize(
     const std::string& buffer) {
-  StatusOr<summary::SummaryGraph> parsed =
-      summary::DeserializeSummary(buffer);
-  if (!parsed.ok()) return parsed.status();
-  return CompressedGraph(std::move(parsed).value());
+  storage::OpenOptions options;
+  options.mode = storage::OpenOptions::Mode::kInMemory;
+  return storage::OpenBuffer(buffer, options);
 }
 
 }  // namespace slugger

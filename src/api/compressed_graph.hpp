@@ -1,18 +1,33 @@
 // slugger::CompressedGraph — the service-grade handle to one compressed
-// graph. Owns the summary and its statistics; everything a server needs
-// after (or instead of) running the Engine goes through this class:
-// neighbor/degree queries, full decode, losslessness verification, and
-// binary save/load.
+// graph. Everything a server needs after (or instead of) running the
+// Engine goes through this class: neighbor/degree queries, full decode,
+// losslessness verification, and persistence.
+//
+// A handle is backed in one of two ways:
+//   - in-memory: owns a SummaryGraph (the classic mode);
+//   - paged: holds a storage::PagedSummarySource and serves queries
+//     straight off the on-disk v2 pages, faulting in only the pages a
+//     query's ancestor chain touches. Analytics (PageRank/Bfs/Triangles/
+//     Decode/Verify) and summary() transparently materialize the full
+//     summary on first use; Materialize() does it explicitly so the
+//     caller sees the Status.
+//
+// Persistence lives in storage/storage.hpp (slugger::storage::Open /
+// Save); the Save/Load/Serialize/Deserialize members below are
+// deprecated wrappers kept for source compatibility.
 //
 // Thread-safety contract: after construction the summary is immutable.
 // All const members are safe to call from any number of threads
 // concurrently, PROVIDED each querying thread passes its own
 // QueryScratch (or uses the scratch-free overloads, which keep one
-// scratch per thread internally). Non-const operations (move-assign,
-// destruction) require external exclusion, as usual.
+// scratch per thread internally). Lazy materialization synchronizes
+// internally and happens at most once per underlying source. Non-const
+// operations (move-assign, destruction) require external exclusion, as
+// usual.
 #ifndef SLUGGER_API_COMPRESSED_GRAPH_HPP_
 #define SLUGGER_API_COMPRESSED_GRAPH_HPP_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,10 +43,15 @@ namespace slugger {
 
 class ThreadPool;
 
+namespace storage {
+class PagedSummarySource;
+}  // namespace storage
+
 /// Re-exported so facade users never include summary headers directly.
 using QueryScratch = summary::QueryScratch;
 using BatchScratch = summary::BatchScratch;
 using BatchResult = summary::BatchResult;
+using NeighborOverride = summary::NeighborOverride;
 
 class CompressedGraph {
  public:
@@ -44,30 +64,60 @@ class CompressedGraph {
   /// Takes ownership of a summary with already-computed statistics.
   CompressedGraph(summary::SummaryGraph summary, summary::SummaryStats stats);
 
+  /// Paged handle over an open v2 file (see storage::Open, which is how
+  /// one is normally built). Queries serve off the pages; copies share
+  /// the source and the at-most-once materialization.
+  explicit CompressedGraph(
+      std::shared_ptr<storage::PagedSummarySource> source);
+
   /// Number of nodes of the represented (uncompressed) graph.
-  NodeId num_nodes() const { return summary_.num_leaves(); }
+  NodeId num_nodes() const { return num_nodes_; }
 
   /// Size/composition statistics of the summary (Eq. 1 / Eq. 10).
   const summary::SummaryStats& stats() const { return stats_; }
 
-  /// One-hop neighbors of v in the represented graph, in unspecified
-  /// order (paper Algorithm 4; never decompresses the whole graph). The
-  /// returned reference points into *scratch. Safe to call concurrently
-  /// from many threads, one scratch per thread. An out-of-range v
-  /// (>= num_nodes()) yields an empty list — never undefined behavior;
-  /// callers that need the distinction should use NeighborsBatch, whose
-  /// Status reports out-of-range ids as InvalidArgument.
+  /// True while queries are answered from on-disk pages (a paged handle
+  /// that has not materialized yet).
+  bool paged() const;
+
+  /// The paged source backing this handle, or nullptr for in-memory
+  /// handles. Exposes buffer statistics for observability.
+  std::shared_ptr<storage::PagedSummarySource> paged_source() const;
+
+  /// Forces a paged handle fully into memory (idempotent; no-op for
+  /// in-memory handles). After OK, queries no longer touch the file.
+  /// A failure (corrupt record stream) is sticky and re-returned.
+  Status Materialize() const;
+
+  /// One-hop neighbors of v in the represented graph (paper Algorithm 4;
+  /// never decompresses the whole graph). In-memory handles return them
+  /// in unspecified order; paged handles sorted ascending. The returned
+  /// reference points into *scratch. Safe to call concurrently from many
+  /// threads, one scratch per thread. An out-of-range v (>= num_nodes())
+  /// yields an empty list — never undefined behavior; so does an I/O or
+  /// corruption error on the paged path. Callers that need those
+  /// distinctions should use NeighborsBatch, whose Status reports them.
   const std::vector<NodeId>& Neighbors(NodeId v, QueryScratch* scratch) const;
 
   /// Scratch-free convenience overload backed by a thread-local scratch;
   /// the reference is valid until this thread's next query.
   const std::vector<NodeId>& Neighbors(NodeId v) const;
 
+  /// Override-aware overload: `overrides` are per-query edge corrections
+  /// following the summary::NeighborOverride contract (sorted by
+  /// neighbor, each a valid node id, v itself ignored). This is how
+  /// DynamicGraph layers its overlay on any base, paged or not.
+  const std::vector<NodeId>& Neighbors(
+      NodeId v, QueryScratch* scratch,
+      std::span<const NeighborOverride> overrides) const;
+
   /// Degree of v, via the count-only coverage pass (no neighbor list is
   /// materialized). Same concurrency and bounds contract as Neighbors()
-  /// (out-of-range v yields 0).
+  /// (out-of-range v yields 0, as does a paged-path error).
   size_t Degree(NodeId v, QueryScratch* scratch) const;
   size_t Degree(NodeId v) const;
+  size_t Degree(NodeId v, QueryScratch* scratch,
+                std::span<const NeighborOverride> overrides) const;
 
   /// Batched Neighbors over a node list (duplicates allowed): answers
   /// land in *out in input order. The batch is processed in hierarchy-
@@ -75,18 +125,20 @@ class CompressedGraph {
   /// shared ancestor chain instead of re-walking Algorithm 4 per node —
   /// measurably faster than a Neighbors() loop on any summary with real
   /// hierarchy (see bench_batch_query). InvalidArgument if any id is
-  /// >= num_nodes(), in which case *out is untouched. Concurrency: same
-  /// as Neighbors() — any number of threads, one scratch per thread (the
-  /// scratch-free overload keeps one per thread internally).
+  /// >= num_nodes(), in which case *out is untouched. On a paged handle
+  /// an I/O or corruption error surfaces here as a non-OK Status and
+  /// *out is emptied. Concurrency: same as Neighbors() — any number of
+  /// threads, one scratch per thread (the scratch-free overload keeps
+  /// one per thread internally).
   Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out,
                         BatchScratch* scratch) const;
   Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out) const;
 
   /// Parallel overload: shards the locality-sorted batch across `pool`
   /// (each shard stays contiguous in the sorted order, preserving the
-  /// amortization). Falls back to the sequential path for small batches
-  /// or a pool of one. Must not be called from inside another job running
-  /// on the same pool.
+  /// amortization). Falls back to the sequential path for small batches,
+  /// a pool of one, or a paged handle. Must not be called from inside
+  /// another job running on the same pool.
   Status NeighborsBatch(std::span<const NodeId> nodes, BatchResult* out,
                         ThreadPool* pool) const;
 
@@ -105,7 +157,10 @@ class CompressedGraph {
   /// O(|E|), with results exactly matching the same algorithm run on
   /// Decode() (PageRank up to summation-order rounding). Safe to call
   /// concurrently; a pool parallelizes the per-superedge loops and must
-  /// not be shared with an enclosing pool job.
+  /// not be shared with an enclosing pool job. A paged handle
+  /// materializes first; if that fails, PageRank/Decode return empty,
+  /// Bfs returns all-unreached, Triangles returns 0 (use Materialize()
+  /// or Verify() to observe the Status).
   std::vector<double> PageRank(double d = 0.85, uint32_t iterations = 20,
                                ThreadPool* pool = nullptr) const;
 
@@ -123,26 +178,51 @@ class CompressedGraph {
   /// Checks that this summary losslessly represents `expected`.
   Status Verify(const graph::Graph& expected, ThreadPool* pool = nullptr) const;
 
-  /// Binary round trip (varint format of summary/serialize.hpp).
-  Status Save(const std::string& path) const;
-  static StatusOr<CompressedGraph> Load(const std::string& path);
-  std::string Serialize() const;
-  static StatusOr<CompressedGraph> Deserialize(const std::string& buffer);
+  /// Deprecated persistence surface — thin wrappers over
+  /// slugger::storage. Save/Serialize keep writing the v1 monolithic
+  /// format byte-for-byte; Load/Deserialize read both formats but always
+  /// materialize. New code should use storage::Open / storage::Save,
+  /// which add the paged v2 format and out-of-core opens.
+  [[deprecated("use slugger::storage::Save")]] Status Save(
+      const std::string& path) const;
+  [[deprecated("use slugger::storage::Open")]] static StatusOr<
+      CompressedGraph>
+  Load(const std::string& path);
+  [[deprecated("use slugger::storage::Serialize")]] std::string Serialize()
+      const;
+  [[deprecated("use slugger::storage::OpenBuffer")]] static StatusOr<
+      CompressedGraph>
+  Deserialize(const std::string& buffer);
 
   /// Read-only access to the internal layer, for advanced consumers
   /// (summary-level algorithms in algs/, hierarchy introspection). The
   /// returned summary must never be mutated while queries are in flight.
-  const summary::SummaryGraph& summary() const { return summary_; }
+  /// A paged handle materializes first; on failure the returned summary
+  /// is empty (0 leaves) — call Materialize() when the Status matters.
+  const summary::SummaryGraph& summary() const;
 
  private:
+  // Shared across copies of a paged handle so the source is opened once
+  // and materialization happens at most once no matter how many handles
+  // point at it.
+  struct PagedBox;
+
   Status ValidateBatch(std::span<const NodeId> nodes) const;
+  /// True when queries must go to the pages (paged and not yet
+  /// materialized — a failed materialization keeps serving paged).
+  bool ServePaged() const;
+  const summary::SummaryGraph& ActiveSummary() const;
+  const std::vector<uint32_t>& ActiveLeafRank() const;
 
   summary::SummaryGraph summary_;
   summary::SummaryStats stats_;
   // Leaf preorder of the (immutable) hierarchy, computed once at
   // construction so every batched query sorts on a cached integer rank
-  // instead of re-deriving hierarchy locality per call.
+  // instead of re-deriving hierarchy locality per call. Paged handles
+  // compute it on materialization instead (into box_).
   std::vector<uint32_t> leaf_rank_;
+  NodeId num_nodes_ = 0;
+  std::shared_ptr<PagedBox> box_;
 };
 
 }  // namespace slugger

@@ -67,8 +67,9 @@ void DynamicGraph::SetState(std::shared_ptr<const State> next) {
 
 bool DynamicGraph::BaseHasEdge(const CompressedGraph& base, NodeId u,
                                NodeId v, QueryScratch* scratch) const {
-  const std::vector<NodeId>& nbrs =
-      summary::QueryNeighbors(base.summary(), u, scratch);
+  // Through the facade, not summary::QueryNeighbors: a paged base (see
+  // storage::Open) has no in-memory summary to walk.
+  const std::vector<NodeId>& nbrs = base.Neighbors(u, scratch);
   return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
 }
 
@@ -142,8 +143,7 @@ const std::vector<NodeId>& DynamicGraph::Neighbors(
     return scratch->result;
   }
   std::shared_ptr<const State> s = CurrentState();
-  return summary::QueryNeighbors(s->base->summary(), v, scratch,
-                                 s->overlay->DeltasOf(v));
+  return s->base->Neighbors(v, scratch, s->overlay->DeltasOf(v));
 }
 
 const std::vector<NodeId>& DynamicGraph::Neighbors(NodeId v) const {
@@ -153,10 +153,8 @@ const std::vector<NodeId>& DynamicGraph::Neighbors(NodeId v) const {
 size_t DynamicGraph::Degree(NodeId v, QueryScratch* scratch) const {
   if (v >= num_nodes_) return 0;
   std::shared_ptr<const State> s = CurrentState();
-  const int64_t degree =
-      static_cast<int64_t>(
-          summary::QueryDegree(s->base->summary(), v, scratch)) +
-      s->overlay->DegreeDelta(v);
+  const int64_t degree = static_cast<int64_t>(s->base->Degree(v, scratch)) +
+                         s->overlay->DegreeDelta(v);
   return degree < 0 ? 0 : static_cast<size_t>(degree);
 }
 

@@ -1,0 +1,391 @@
+#include "storage/format.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "summary/hierarchy_forest.hpp"
+#include "util/varint.hpp"
+
+namespace slugger::storage {
+
+namespace {
+
+bool ValidPageSize(uint64_t psz) {
+  return psz >= kMinPageSize && psz <= kMaxPageSize &&
+         (psz & (psz - 1)) == 0;
+}
+
+/// Pages a fixed-stride section of `entries` entries occupies when each
+/// page holds floor(page_size / stride) entries (trailing slack per page).
+uint64_t PagesFor(uint64_t entries, uint64_t stride, uint64_t page_size) {
+  const uint64_t epp = page_size / stride;
+  return (entries + epp - 1) / epp;
+}
+
+}  // namespace
+
+summary::SummaryStats PagedHeader::ToStats() const {
+  summary::SummaryStats stats;
+  stats.num_subnodes = num_leaves;
+  stats.num_supernodes = total_supernodes();
+  stats.num_roots = num_roots;
+  stats.p_count = p_count;
+  stats.n_count = n_count;
+  stats.h_count = h_count;
+  stats.cost = p_count + n_count + h_count;
+  stats.max_height = max_height;
+  stats.avg_leaf_depth = avg_leaf_depth;
+  return stats;
+}
+
+StatusOr<std::string> SerializePaged(const summary::SummaryGraph& summary,
+                                     const summary::SummaryStats& stats,
+                                     const PagedWriteOptions& options) {
+  const uint64_t psz = options.page_size;
+  if (!ValidPageSize(psz)) {
+    return Status::InvalidArgument(
+        "page_size must be a power of two in [" +
+        std::to_string(kMinPageSize) + ", " + std::to_string(kMaxPageSize) +
+        "], got " + std::to_string(options.page_size));
+  }
+  const summary::HierarchyForest& forest = summary.forest();
+  const NodeId n = forest.num_leaves();
+
+  // Renumber exactly like the v1 serializer: leaves keep their ids,
+  // alive internal nodes get dense bottom-up ids (creation order already
+  // lists children before parents; pruning only deletes, preserving it).
+  std::vector<SupernodeId> renumber(forest.capacity(), kInvalidId);
+  for (NodeId u = 0; u < n; ++u) renumber[u] = u;
+  uint32_t num_internal = 0;
+  for (SupernodeId s = n; s < forest.capacity(); ++s) {
+    if (forest.IsAlive(s)) renumber[s] = n + num_internal++;
+  }
+  const uint32_t total = n + num_internal;
+  std::vector<SupernodeId> fid_to_orig(total);
+  for (SupernodeId s = 0; s < forest.capacity(); ++s) {
+    if (renumber[s] != kInvalidId) fid_to_orig[renumber[s]] = s;
+  }
+
+  // Physical record order: preorder DFS per hierarchy tree, trees ordered
+  // by their smallest leaf. The same walk assigns the leaf preorder
+  // (rank / leaf_at) and each supernode's covered interval start, so a
+  // node's leaves are exactly leaf_at[lo .. lo + Size).
+  std::vector<uint32_t> lo(total, 0);
+  std::vector<uint32_t> rank(n, 0);
+  std::vector<uint32_t> leaf_at(n, 0);
+  std::vector<SupernodeId> phys;
+  phys.reserve(total);
+  std::vector<uint8_t> seen_root(forest.capacity(), 0);
+  std::vector<SupernodeId> stack;
+  uint32_t next_rank = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const SupernodeId r = forest.Root(v);
+    if (seen_root[r]) continue;
+    seen_root[r] = 1;
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const SupernodeId s = stack.back();
+      stack.pop_back();
+      const SupernodeId fid = renumber[s];
+      phys.push_back(fid);
+      lo[fid] = next_rank;
+      if (forest.IsLeaf(s)) {
+        rank[s] = next_rank;
+        leaf_at[next_rank] = static_cast<NodeId>(s);
+        ++next_rank;
+      } else {
+        const auto& kids = forest.Children(s);
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+          stack.push_back(*it);
+        }
+      }
+    }
+  }
+
+  // Encode the record stream in physical order, remembering each
+  // record's byte offset for the locator.
+  std::string rec;
+  std::vector<uint64_t> rec_off(total, 0);
+  std::vector<std::pair<uint64_t, EdgeSign>> edges;
+  std::vector<SupernodeId> mapped_kids;
+  for (const SupernodeId fid : phys) {
+    const SupernodeId s = fid_to_orig[fid];
+    rec_off[fid] = rec.size();
+    PutVarint64(&rec, fid);
+    const SupernodeId p = forest.Parent(s);
+    PutVarint64(&rec,
+                p == kInvalidId ? 0 : static_cast<uint64_t>(renumber[p]) + 1);
+    PutVarint64(&rec, lo[fid]);
+    PutVarint64(&rec, forest.Size(s));
+    edges.clear();
+    summary.ForEachEdgeOf(s, [&](SupernodeId other, EdgeSign sign) {
+      edges.emplace_back(renumber[other], sign);
+    });
+    std::sort(edges.begin(), edges.end());
+    PutVarint64(&rec, edges.size());
+    uint64_t prev = 0;
+    for (const auto& [ofid, sign] : edges) {
+      PutVarint64(&rec, ((ofid - prev) << 1) | (sign > 0 ? 1 : 0));
+      prev = ofid;
+      // The other endpoint's interval rides along in the edge so the
+      // coverage walk never has to fault in that endpoint's record.
+      PutVarint64(&rec, lo[ofid]);
+      PutVarint64(&rec, forest.Size(fid_to_orig[ofid]));
+    }
+    if (forest.IsLeaf(s)) {
+      PutVarint64(&rec, 0);
+    } else {
+      const auto& kids = forest.Children(s);
+      mapped_kids.clear();
+      mapped_kids.reserve(kids.size());
+      for (const SupernodeId c : kids) mapped_kids.push_back(renumber[c]);
+      std::sort(mapped_kids.begin(), mapped_kids.end());
+      PutVarint64(&rec, mapped_kids.size());
+      SupernodeId prev_c = 0;
+      for (const SupernodeId c : mapped_kids) {
+        PutVarint64(&rec, c - prev_c);
+        prev_c = c;
+      }
+    }
+  }
+
+  // Section geometry, then the page-table fixed point (the page table
+  // indexes every page of the file, itself included).
+  const uint64_t loc_pages = PagesFor(total, kLocatorStride, psz);
+  const uint64_t rank_pages = PagesFor(n, kRankStride, psz);
+  const uint64_t la_pages = PagesFor(n, kLeafAtStride, psz);
+  const uint64_t rec_pages = (rec.size() + psz - 1) / psz;
+  const uint64_t data_pages = loc_pages + rank_pages + la_pages + rec_pages;
+  uint64_t pt_pages = 0;
+  uint64_t num_pages = 0;
+  for (;;) {
+    num_pages = 1 + pt_pages + data_pages;
+    const uint64_t need = PagesFor(num_pages, kPageTableStride, psz);
+    if (need == pt_pages) break;
+    pt_pages = need;
+  }
+  if (num_pages > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("summary too large for the paged format");
+  }
+
+  SectionRange pt{1, static_cast<uint32_t>(pt_pages)};
+  SectionRange loc_r{pt.first_page + pt.num_pages,
+                     static_cast<uint32_t>(loc_pages)};
+  SectionRange rank_r{loc_r.first_page + loc_r.num_pages,
+                      static_cast<uint32_t>(rank_pages)};
+  SectionRange la_r{rank_r.first_page + rank_r.num_pages,
+                    static_cast<uint32_t>(la_pages)};
+  SectionRange rec_r{la_r.first_page + la_r.num_pages,
+                     static_cast<uint32_t>(rec_pages)};
+
+  std::string file(num_pages * psz, '\0');
+  auto* bytes = reinterpret_cast<uint8_t*>(file.data());
+
+  // Locator: fid -> (absolute record page, in-page offset).
+  const uint64_t epp_loc = psz / kLocatorStride;
+  for (uint32_t fid = 0; fid < total; ++fid) {
+    uint8_t* e = bytes + (loc_r.first_page + fid / epp_loc) * psz +
+                 (fid % epp_loc) * kLocatorStride;
+    PutLE32(e, rec_r.first_page + static_cast<uint32_t>(rec_off[fid] / psz));
+    PutLE16(e + 4, static_cast<uint16_t>(rec_off[fid] % psz));
+  }
+
+  // Rank and leaf_at, fixed 4-byte entries.
+  const uint64_t epp4 = psz / kRankStride;
+  for (NodeId v = 0; v < n; ++v) {
+    PutLE32(bytes + (rank_r.first_page + v / epp4) * psz +
+                (v % epp4) * kRankStride,
+            rank[v]);
+    PutLE32(bytes + (la_r.first_page + v / epp4) * psz +
+                (v % epp4) * kLeafAtStride,
+            leaf_at[v]);
+  }
+
+  // Record stream, chunked across its pages back to back.
+  std::memcpy(bytes + static_cast<uint64_t>(rec_r.first_page) * psz,
+              rec.data(), rec.size());
+
+  // Per-page checksums of every data page; header and page-table pages
+  // keep zero entries (they are covered by the two header checksums).
+  const uint64_t epp_pt = psz / kPageTableStride;
+  for (uint64_t p = loc_r.first_page; p < num_pages; ++p) {
+    PutLE64(bytes + (pt.first_page + p / epp_pt) * psz +
+                (p % epp_pt) * kPageTableStride,
+            Checksum64(bytes + p * psz, psz));
+  }
+  const uint64_t pt_checksum =
+      Checksum64(bytes + static_cast<uint64_t>(pt.first_page) * psz,
+                 pt_pages * psz);
+
+  // Header page.
+  std::string hdr(reinterpret_cast<const char*>(kPagedMagic),
+                  sizeof(kPagedMagic));
+  PutVarint64(&hdr, kPagedVersion);
+  PutVarint64(&hdr, psz);
+  PutVarint64(&hdr, num_pages);
+  PutVarint64(&hdr, n);
+  PutVarint64(&hdr, num_internal);
+  PutVarint64(&hdr, rec.size());
+  for (const SectionRange& r : {pt, loc_r, rank_r, la_r, rec_r}) {
+    PutVarint64(&hdr, r.first_page);
+    PutVarint64(&hdr, r.num_pages);
+  }
+  PutVarint64(&hdr, stats.num_roots);
+  PutVarint64(&hdr, stats.p_count);
+  PutVarint64(&hdr, stats.n_count);
+  PutVarint64(&hdr, stats.h_count);
+  PutVarint64(&hdr, stats.max_height);
+  PutVarint64(&hdr, std::bit_cast<uint64_t>(stats.avg_leaf_depth));
+  uint8_t le64[8];
+  PutLE64(le64, pt_checksum);
+  hdr.append(reinterpret_cast<const char*>(le64), 8);
+  PutLE64(le64, Checksum64(reinterpret_cast<const uint8_t*>(hdr.data()),
+                           hdr.size()));
+  hdr.append(reinterpret_cast<const char*>(le64), 8);
+  assert(hdr.size() <= kMinPageSize && "header must fit the smallest page");
+  std::memcpy(bytes, hdr.data(), hdr.size());
+  return file;
+}
+
+StatusOr<PagedHeader> ParsePagedHeader(const char* data, size_t size,
+                                       uint64_t file_size) {
+  if (file_size < kMinPageSize || size < kMinPageSize) {
+    return Status::Corruption("paged file truncated below the minimum page");
+  }
+  if (!IsPagedMagic(data, size)) {
+    return Status::Corruption("bad paged magic");
+  }
+  // The writer keeps the whole header within the smallest legal page, so
+  // parsing never needs to know page_size before reading it.
+  VarintReader reader(data + sizeof(kPagedMagic),
+                      kMinPageSize - sizeof(kPagedMagic));
+  uint64_t version = 0, psz = 0, num_pages = 0, num_leaves = 0,
+           num_internal = 0;
+  Status s = reader.Get(&version);
+  if (!s.ok()) return s;
+  if (version != kPagedVersion) {
+    return Status::Corruption("unsupported paged format version " +
+                              std::to_string(version));
+  }
+  if (!(s = reader.Get(&psz)).ok()) return s;
+  if (!ValidPageSize(psz)) {
+    return Status::Corruption("invalid page size " + std::to_string(psz));
+  }
+  if (!(s = reader.Get(&num_pages)).ok()) return s;
+  if (num_pages < 2 || num_pages > 0xFFFFFFFFull) {
+    return Status::Corruption("invalid page count");
+  }
+  if (file_size != num_pages * psz) {
+    return Status::Corruption(
+        "file size " + std::to_string(file_size) + " does not match " +
+        std::to_string(num_pages) + " pages of " + std::to_string(psz) +
+        " bytes");
+  }
+  if (!(s = reader.Get(&num_leaves)).ok()) return s;
+  if (num_leaves > kMaxNodes) {
+    return Status::InvalidArgument(
+        "declared num_leaves " + std::to_string(num_leaves) +
+        " exceeds the supernode id space (max " + std::to_string(kMaxNodes) +
+        ")");
+  }
+  if (!(s = reader.Get(&num_internal)).ok()) return s;
+  // A forest over n leaves whose internal nodes all have >= 2 children
+  // has at most n - 1 of them (the v1 rule).
+  if (num_internal + 1 > num_leaves && num_internal != 0) {
+    return Status::InvalidArgument("too many internal supernodes");
+  }
+
+  PagedHeader h;
+  h.page_size = static_cast<uint32_t>(psz);
+  h.num_pages = static_cast<uint32_t>(num_pages);
+  h.num_leaves = static_cast<NodeId>(num_leaves);
+  h.num_internal = static_cast<uint32_t>(num_internal);
+  if (!(s = reader.Get(&h.record_bytes)).ok()) return s;
+  if (h.record_bytes > file_size) {
+    return Status::Corruption("record stream larger than the file");
+  }
+  SectionRange* ranges[5] = {&h.page_table, &h.locator, &h.rank, &h.leaf_at,
+                             &h.records};
+  for (SectionRange* r : ranges) {
+    uint64_t first = 0, count = 0;
+    if (!(s = reader.Get(&first)).ok()) return s;
+    if (!(s = reader.Get(&count)).ok()) return s;
+    if (first > num_pages || count > num_pages) {
+      return Status::Corruption("section range out of bounds");
+    }
+    r->first_page = static_cast<uint32_t>(first);
+    r->num_pages = static_cast<uint32_t>(count);
+  }
+  uint64_t num_roots = 0, pc = 0, nc = 0, hc = 0, mh = 0, avg_bits = 0;
+  if (!(s = reader.Get(&num_roots)).ok()) return s;
+  if (!(s = reader.Get(&pc)).ok()) return s;
+  if (!(s = reader.Get(&nc)).ok()) return s;
+  if (!(s = reader.Get(&hc)).ok()) return s;
+  if (!(s = reader.Get(&mh)).ok()) return s;
+  if (mh > 0xFFFFFFFFull) return Status::Corruption("max height out of range");
+  if (!(s = reader.Get(&avg_bits)).ok()) return s;
+  h.num_roots = num_roots;
+  h.p_count = pc;
+  h.n_count = nc;
+  h.h_count = hc;
+  h.max_height = static_cast<uint32_t>(mh);
+  h.avg_leaf_depth = std::bit_cast<double>(avg_bits);
+
+  if (reader.remaining() < 16) {
+    return Status::Corruption("paged header truncated");
+  }
+  const auto* u8 = reinterpret_cast<const uint8_t*>(data);
+  const size_t cksum_pos = sizeof(kPagedMagic) + reader.position();
+  h.page_table_checksum = GetLE64(u8 + cksum_pos);
+  const uint64_t stored = GetLE64(u8 + cksum_pos + 8);
+  if (stored != Checksum64(u8, cksum_pos + 8)) {
+    return Status::Corruption("paged header checksum mismatch");
+  }
+  // The writer zero-fills the header page past the checksums; anything
+  // else there is damage the checksums cannot see (they only cover the
+  // bytes before them), so reject it explicitly. Callers hand us at
+  // least the first kMinPageSize bytes; the page-0 tail beyond that is
+  // checked by the open path when eager verification is on.
+  for (size_t i = cksum_pos + 16; i < kMinPageSize && i < size; ++i) {
+    if (u8[i] != 0) {
+      return Status::Corruption("nonzero slack in the header page");
+    }
+  }
+
+  // Geometry must be exactly what the declared counts imply: section
+  // layout order is fixed, fixed-stride sections have no slack pages, and
+  // the record section runs to the end of the file. Anything else is a
+  // forged header even if each range is individually in bounds.
+  const uint64_t total = num_leaves + num_internal;
+  uint64_t expect_first = 1;
+  const uint64_t expects[5] = {
+      PagesFor(num_pages, kPageTableStride, psz),
+      PagesFor(total, kLocatorStride, psz),
+      PagesFor(num_leaves, kRankStride, psz),
+      PagesFor(num_leaves, kLeafAtStride, psz),
+      (h.record_bytes + psz - 1) / psz,
+  };
+  for (int i = 0; i < 5; ++i) {
+    if (ranges[i]->first_page != expect_first ||
+        ranges[i]->num_pages != expects[i]) {
+      return Status::Corruption("section layout does not match counts");
+    }
+    expect_first += expects[i];
+  }
+  if (expect_first != num_pages) {
+    return Status::Corruption("sections do not cover the file");
+  }
+  // Every record encodes at least six varint fields of one byte each
+  // (id, parent, lo, len, edge count, child count), so a record stream
+  // too short for `total` records is rejected here, before any locator
+  // entry is trusted.
+  if (h.record_bytes < total * 6) {
+    return Status::Corruption("record stream too short for supernode count");
+  }
+  return h;
+}
+
+}  // namespace slugger::storage

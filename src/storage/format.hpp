@@ -1,0 +1,188 @@
+// On-disk format v2: the page-segmented summary layout (ISSUE 7).
+//
+// A v2 file is `num_pages` fixed-size pages (power-of-two page_size,
+// default 64 KiB). Page 0 is the header; the remaining pages hold five
+// sections, in file order:
+//
+//   page_table   one 64-bit checksum per file page (fixed 8-byte stride,
+//                entries padded to page boundaries; entries for the
+//                header and the page-table pages themselves are zero —
+//                those regions are covered by the two checksums in the
+//                header instead)
+//   locator      per supernode id: the (page, byte-offset) of its record
+//                (fixed 6-byte stride: u32 page + u16 offset, LE)
+//   rank         per leaf id: its preorder rank (fixed 4-byte stride)
+//   leaf_at      per preorder rank: the leaf id there (fixed 4-byte
+//                stride) — the leaves of any supernode occupy one
+//                contiguous run of this array
+//   records      one varint record per alive supernode, concatenated
+//                into a byte stream that is chunked across pages
+//                (records may span page boundaries)
+//
+// Supernode ids in the file reuse the v1 renumbering: leaves keep their
+// ids, alive internal supernodes get dense bottom-up ids (children
+// before parents), so materialization can rebuild the forest with the
+// exact construction discipline DeserializeSummary already uses. The
+// records are PHYSICALLY ordered by a preorder traversal grouped per
+// hierarchy tree, so the ancestor chain of any leaf lands in few,
+// adjacent record pages — the page locality the paged query walk needs.
+//
+// One record (all varints):
+//   id                        must equal the locator's idea of this slot
+//   parent + 1                0 encodes "root"
+//   lo, len                   the leaf_at interval covered by this node
+//   num_edges
+//     per incident superedge, sorted by the other endpoint's id:
+//       (other_delta << 1) | sign_bit    delta against the previous other
+//       other_lo, other_len              the OTHER endpoint's leaf_at
+//                                        interval, denormalized into the
+//                                        edge so the coverage walk never
+//                                        fetches the endpoint's record
+//   num_children              0 for leaves
+//     child id deltas, sorted ascending (first delta against 0)
+//
+// Every parse of these structures treats the bytes as untrusted and
+// bounds each count before it sizes an allocation or a loop, exactly
+// like summary/serialize.hpp's v1 deserializer.
+#ifndef SLUGGER_STORAGE_FORMAT_HPP_
+#define SLUGGER_STORAGE_FORMAT_HPP_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "summary/stats.hpp"
+#include "summary/summary_graph.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace slugger::storage {
+
+/// First 8 bytes of every v2 file. Deliberately NOT a valid v1 varint
+/// prefix (v1 starts with a 7-byte varint magic whose first byte is
+/// 0x4D), so one 8-byte sniff separates the formats.
+inline constexpr uint8_t kPagedMagic[8] = {'S', 'L', 'G', 'P',
+                                           'A', 'G', 'E', '2'};
+inline constexpr uint64_t kPagedVersion = 2;
+
+inline constexpr uint32_t kMinPageSize = 256;
+inline constexpr uint32_t kMaxPageSize = 64 * 1024;
+inline constexpr uint32_t kDefaultPageSize = 64 * 1024;
+
+inline constexpr size_t kLocatorStride = 6;   ///< u32 page + u16 offset
+inline constexpr size_t kRankStride = 4;      ///< u32 preorder rank
+inline constexpr size_t kLeafAtStride = 4;    ///< u32 leaf id
+inline constexpr size_t kPageTableStride = 8; ///< u64 page checksum
+
+/// True iff `data` begins with the v2 magic.
+inline bool IsPagedMagic(const char* data, size_t size) {
+  return size >= sizeof(kPagedMagic) &&
+         std::memcmp(data, kPagedMagic, sizeof(kPagedMagic)) == 0;
+}
+
+/// 64-bit content checksum (Mix64-based, length-keyed). Not a MAC: it
+/// catches truncation, bit rot, and torn writes, not a deliberate
+/// attacker who recomputes checksums — the bound-every-count parsing is
+/// what keeps hostile files at "wrong answer", never "undefined
+/// behavior".
+inline uint64_t Checksum64(const uint8_t* data, size_t n) {
+  uint64_t h = 0x534C475047453200ull ^ (n * 0x9E3779B97F4A7C15ull);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = Mix64(h ^ w);
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, data + i, n - i);
+    h = Mix64(h ^ tail);
+  }
+  return Mix64(h);
+}
+
+/// Little-endian fixed-width helpers (the file is endian-stable).
+inline void PutLE16(uint8_t* out, uint16_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+}
+inline void PutLE32(uint8_t* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline void PutLE64(uint8_t* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+inline uint16_t GetLE16(const uint8_t* in) {
+  return static_cast<uint16_t>(in[0] | (in[1] << 8));
+}
+inline uint32_t GetLE32(const uint8_t* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+inline uint64_t GetLE64(const uint8_t* in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+/// A contiguous run of pages holding one section.
+struct SectionRange {
+  uint32_t first_page = 0;
+  uint32_t num_pages = 0;
+};
+
+/// Everything the header page declares, already validated: counts are in
+/// range, sections lie inside the file in layout order without overlap,
+/// and each fixed-stride section has exactly the page count its entry
+/// count requires.
+struct PagedHeader {
+  uint32_t page_size = 0;
+  uint32_t num_pages = 0;
+  NodeId num_leaves = 0;
+  uint32_t num_internal = 0;  ///< alive non-leaf supernodes
+  uint64_t record_bytes = 0;  ///< payload length of the record stream
+  SectionRange page_table;
+  SectionRange locator;
+  SectionRange rank;
+  SectionRange leaf_at;
+  SectionRange records;
+  uint64_t page_table_checksum = 0;
+  // Advisory statistics (facade display / compaction policy input); the
+  // structural fields above are the only ones bounds depend on.
+  uint64_t num_roots = 0;
+  uint64_t p_count = 0;
+  uint64_t n_count = 0;
+  uint64_t h_count = 0;
+  uint32_t max_height = 0;
+  double avg_leaf_depth = 0.0;
+
+  uint32_t total_supernodes() const { return num_leaves + num_internal; }
+
+  /// Reconstructs the facade-level stats the writer recorded.
+  summary::SummaryStats ToStats() const;
+};
+
+/// Options of the paged writer.
+struct PagedWriteOptions {
+  uint32_t page_size = kDefaultPageSize;  ///< power of two in [256, 64Ki]
+};
+
+/// Serializes a summary into a complete v2 file image (a multiple of
+/// page_size bytes, checksums included). InvalidArgument on a bad page
+/// size.
+StatusOr<std::string> SerializePaged(const summary::SummaryGraph& summary,
+                                     const summary::SummaryStats& stats,
+                                     const PagedWriteOptions& options = {});
+
+/// Parses and validates the header page of an untrusted v2 image.
+/// `data/size` must cover at least the first min(file_size, 64 KiB)
+/// bytes; `file_size` is the real on-disk length, checked against the
+/// declared page geometry.
+StatusOr<PagedHeader> ParsePagedHeader(const char* data, size_t size,
+                                       uint64_t file_size);
+
+}  // namespace slugger::storage
+
+#endif  // SLUGGER_STORAGE_FORMAT_HPP_
