@@ -84,6 +84,18 @@ struct CompressedGraph::PagedBox {
   std::shared_ptr<const summary::SummaryGraph> summary;
   std::shared_ptr<const std::vector<uint32_t>> leaf_rank;
   Status error;
+
+  // Query-error observability (query_errors()/last_status()): counted
+  // even on the single-query paths that degrade errors to empty answers.
+  std::atomic<uint64_t> query_errors{0};
+  std::mutex err_mu;
+  Status last_error;  ///< guarded by err_mu
+
+  void RecordError(const Status& failed) {
+    query_errors.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(err_mu);
+    last_error = failed;
+  }
 };
 
 CompressedGraph::CompressedGraph(summary::SummaryGraph summary)
@@ -112,6 +124,16 @@ bool CompressedGraph::ServePaged() const {
 }
 
 bool CompressedGraph::paged() const { return ServePaged(); }
+
+uint64_t CompressedGraph::query_errors() const {
+  return box_ ? box_->query_errors.load(std::memory_order_relaxed) : 0;
+}
+
+Status CompressedGraph::last_status() const {
+  if (!box_) return Status::OK();
+  std::lock_guard<std::mutex> lock(box_->err_mu);
+  return box_->last_error;
+}
 
 std::shared_ptr<storage::PagedSummarySource> CompressedGraph::paged_source()
     const {
@@ -176,8 +198,11 @@ const std::vector<NodeId>& CompressedGraph::Neighbors(
   }
   if (ServePaged()) {
     // This overload has no error channel, so a paged I/O or corruption
-    // failure degrades to an empty list; the batch APIs surface it.
-    if (!box_->source->Neighbors(v, scratch, overrides).ok()) {
+    // failure degrades to an empty list; query_errors()/last_status()
+    // record it and the batch APIs surface it.
+    Status served = box_->source->Neighbors(v, scratch, overrides);
+    if (!served.ok()) {
+      box_->RecordError(served);
       scratch->result.clear();
     }
     return scratch->result;
@@ -199,7 +224,11 @@ size_t CompressedGraph::Degree(
   if (v >= num_nodes_) return 0;
   if (ServePaged()) {
     StatusOr<uint64_t> degree = box_->source->Degree(v, scratch, overrides);
-    return degree.ok() ? static_cast<size_t>(degree.value()) : 0;
+    if (!degree.ok()) {
+      box_->RecordError(degree.status());
+      return 0;
+    }
+    return static_cast<size_t>(degree.value());
   }
   return summary::QueryDegree(ActiveSummary(), v, scratch, overrides);
 }
@@ -225,7 +254,11 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
                                        BatchScratch* scratch) const {
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
-  if (ServePaged()) return box_->source->NeighborsBatch(nodes, out, scratch);
+  if (ServePaged()) {
+    Status served = box_->source->NeighborsBatch(nodes, out, scratch);
+    if (!served.ok()) box_->RecordError(served);
+    return served;
+  }
   summary::QueryNeighborsBatch(ActiveSummary(), nodes, out, scratch,
                                &ActiveLeafRank());
   return Status::OK();
@@ -260,6 +293,13 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
   std::vector<NodeId> sorted_nodes;
   SortBatchByRank(nodes, leaf_rank, &order, &sorted_nodes);
 
+  // Each shard's slice is already locality-sorted, so the identity
+  // permutation is a valid precomputed order: shards skip the per-slice
+  // re-sort inside QueryNeighborsBatch. One iota serves every shard —
+  // subspan(0, len) is 0..len-1.
+  std::vector<uint32_t> identity(batch);
+  std::iota(identity.begin(), identity.end(), 0u);
+
   const size_t shards = pool->size();
   std::vector<BatchResult> shard_results(shards);
   pool->Run(shards, [&](uint64_t shard, unsigned) {
@@ -268,7 +308,9 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
         active,
         std::span<const NodeId>(sorted_nodes)
             .subspan(range.begin, range.end - range.begin),
-        &shard_results[shard], &ThreadLocalBatchScratch(), &leaf_rank);
+        &shard_results[shard], &ThreadLocalBatchScratch(), &leaf_rank,
+        std::span<const uint32_t>(identity)
+            .subspan(0, range.end - range.begin));
   });
 
   // Stitch shard answers (sorted order) back into input order.
@@ -299,7 +341,11 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
                                     BatchScratch* scratch) const {
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
-  if (ServePaged()) return box_->source->DegreeBatch(nodes, degrees, scratch);
+  if (ServePaged()) {
+    Status served = box_->source->DegreeBatch(nodes, degrees, scratch);
+    if (!served.ok()) box_->RecordError(served);
+    return served;
+  }
   summary::QueryDegreeBatch(ActiveSummary(), nodes, degrees, scratch,
                             &ActiveLeafRank());
   return Status::OK();
@@ -327,6 +373,10 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
   std::vector<NodeId> sorted_nodes;
   SortBatchByRank(nodes, leaf_rank, &order, &sorted_nodes);
 
+  // Identity precomputed order per slice, as in the Neighbors overload.
+  std::vector<uint32_t> identity(batch);
+  std::iota(identity.begin(), identity.end(), 0u);
+
   degrees->assign(batch, 0);
   const size_t shards = pool->size();
   pool->Run(shards, [&](uint64_t shard, unsigned) {
@@ -336,7 +386,9 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
         active,
         std::span<const NodeId>(sorted_nodes)
             .subspan(range.begin, range.end - range.begin),
-        &local, &ThreadLocalBatchScratch(), &leaf_rank);
+        &local, &ThreadLocalBatchScratch(), &leaf_rank,
+        std::span<const uint32_t>(identity)
+            .subspan(0, range.end - range.begin));
     // Shards own disjoint ranges of the order permutation, so these
     // writes never alias across workers.
     for (size_t k = 0; k < local.size(); ++k) {

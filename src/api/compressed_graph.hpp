@@ -89,6 +89,19 @@ class CompressedGraph {
   /// A failure (corrupt record stream) is sticky and re-returned.
   Status Materialize() const;
 
+  /// Number of queries (single or batched) this handle has absorbed or
+  /// surfaced an I/O/corruption error for since construction. Always 0
+  /// for in-memory handles, whose queries cannot fail. The signal the
+  /// single-query overloads lack: Neighbors()/Degree() degrade errors
+  /// to empty answers, so a serving layer (the dist coordinator's
+  /// degraded-shard accounting) watches this counter instead of
+  /// mistaking holes for isolated nodes. Shared across copies of a
+  /// paged handle, like the source itself.
+  uint64_t query_errors() const;
+
+  /// The most recent query error (OK when query_errors() == 0).
+  Status last_status() const;
+
   /// One-hop neighbors of v in the represented graph (paper Algorithm 4;
   /// never decompresses the whole graph). In-memory handles return them
   /// in unspecified order; paged handles sorted ascending. The returned

@@ -1,0 +1,133 @@
+#include "dist/partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace slugger::dist {
+
+namespace {
+
+std::vector<uint32_t> AssignContiguous(NodeId n, uint32_t shards) {
+  std::vector<uint32_t> node_shard(n);
+  for (NodeId v = 0; v < n; ++v) {
+    node_shard[v] = static_cast<uint32_t>(
+        static_cast<uint64_t>(v) * shards / std::max<NodeId>(n, 1));
+  }
+  return node_shard;
+}
+
+std::vector<uint32_t> AssignHashed(NodeId n, uint32_t shards) {
+  std::vector<uint32_t> node_shard(n);
+  for (NodeId v = 0; v < n; ++v) {
+    node_shard[v] = static_cast<uint32_t>(Mix64(v) % shards);
+  }
+  return node_shard;
+}
+
+/// Greedy longest-processing-time balance on degree: heaviest nodes
+/// first, each to the currently lightest shard. Ties break by node id
+/// (the sort) and by shard id (the heap comparator), so the assignment
+/// is a pure function of the degree sequence.
+std::vector<uint32_t> AssignBalancedDegree(const graph::Graph& g,
+                                           uint32_t shards) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0u);
+  std::sort(by_degree.begin(), by_degree.end(), [&g](NodeId a, NodeId b) {
+    const uint32_t da = g.Degree(a);
+    const uint32_t db = g.Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+
+  using Load = std::pair<uint64_t, uint32_t>;  // (summed degree, shard)
+  std::priority_queue<Load, std::vector<Load>, std::greater<Load>> heap;
+  for (uint32_t s = 0; s < shards; ++s) heap.push({0, s});
+
+  std::vector<uint32_t> node_shard(n);
+  for (NodeId v : by_degree) {
+    Load lightest = heap.top();
+    heap.pop();
+    node_shard[v] = lightest.second;
+    lightest.first += g.Degree(v);
+    heap.push(lightest);
+  }
+  return node_shard;
+}
+
+}  // namespace
+
+StatusOr<ShardManifest> PartitionGraph(const graph::Graph& g,
+                                       const PartitionOptions& options) {
+  const NodeId n = g.num_nodes();
+  const uint32_t shards = options.num_shards;
+  if (shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (shards > std::max<NodeId>(n, 1)) {
+    return Status::InvalidArgument(
+        "num_shards (" + std::to_string(shards) + ") exceeds node count (" +
+        std::to_string(n) + "); empty shards cannot own edges");
+  }
+
+  std::vector<uint32_t> node_shard;
+  switch (options.strategy) {
+    case PartitionStrategy::kContiguous:
+      node_shard = AssignContiguous(n, shards);
+      break;
+    case PartitionStrategy::kHashed:
+      node_shard = AssignHashed(n, shards);
+      break;
+    case PartitionStrategy::kBalancedDegree:
+      node_shard = AssignBalancedDegree(g, shards);
+      break;
+    default:
+      return Status::InvalidArgument("unknown partition strategy");
+  }
+
+  // Touch sets: for each node, the deduplicated owners of its incident
+  // edges. The owner of {u, v} is the smaller endpoint's home, so v's
+  // incident owners are shard(v) for neighbors above v and shard(u) for
+  // neighbors below — one pass over each sorted adjacency list.
+  std::vector<uint64_t> touch_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<uint32_t> touch_shards;
+  std::vector<uint32_t> row;
+  for (NodeId v = 0; v < n; ++v) {
+    row.clear();
+    for (NodeId u : g.Neighbors(v)) {
+      row.push_back(node_shard[std::min(u, v)]);
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    touch_shards.insert(touch_shards.end(), row.begin(), row.end());
+    touch_offsets[v + 1] = touch_shards.size();
+  }
+
+  std::vector<ShardStats> stats(shards);
+  for (NodeId v = 0; v < n; ++v) {
+    ShardStats& home = stats[node_shard[v]];
+    ++home.num_nodes;
+    home.total_degree += g.Degree(v);
+  }
+  for (const Edge& e : g.Edges()) {
+    ShardStats& owner = stats[node_shard[e.first]];
+    ++owner.owned_edges;
+    if (node_shard[e.first] == node_shard[e.second]) {
+      ++owner.internal_edges;
+    } else {
+      ++owner.boundary_edges;
+    }
+  }
+
+  return ShardManifest(shards, g.num_edges(), options.strategy,
+                       std::move(node_shard), std::move(touch_offsets),
+                       std::move(touch_shards), std::move(stats));
+}
+
+}  // namespace slugger::dist

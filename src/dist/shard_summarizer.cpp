@@ -1,0 +1,74 @@
+#include "dist/shard_summarizer.hpp"
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "graph/partition_stream.hpp"
+
+namespace slugger::dist {
+
+ShardSummarizer::ShardSummarizer(ShardSummarizeOptions options)
+    : options_(std::move(options)) {
+  // Shard-level parallelism owns the pool; a per-shard inner pool would
+  // nest Run() calls, which ThreadPool forbids.
+  options_.engine.config.num_threads = 1;
+  options_status_ = options_.engine.Validate();
+}
+
+StatusOr<std::vector<CompressedGraph>> ShardSummarizer::SummarizeShards(
+    const graph::Graph& g, const ShardManifest& manifest) {
+  if (!options_status_.ok()) return options_status_;
+  if (g.num_nodes() != manifest.num_nodes()) {
+    return Status::InvalidArgument(
+        "manifest was built for " + std::to_string(manifest.num_nodes()) +
+        " nodes but the graph has " + std::to_string(g.num_nodes()));
+  }
+  const uint32_t shards = manifest.num_shards();
+  std::vector<CompressedGraph> result(shards);
+  std::vector<Status> shard_status(shards);
+
+  std::mutex progress_mu;
+  const std::span<const uint32_t> node_shard = manifest.node_map();
+
+  const auto summarize_one = [&](uint32_t shard) {
+    // One Engine per shard: Summarize is not reentrant per Engine, and
+    // a fresh single-threaded engine keeps every shard deterministic
+    // regardless of how tasks land on workers.
+    Engine engine(options_.engine);
+    RunOptions run;
+    run.cancel = options_.cancel;
+    if (options_.progress) {
+      run.progress = [&, shard](const core::ProgressEvent& event) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        options_.progress(shard, event);
+      };
+    }
+    graph::Graph shard_graph = graph::BuildShardGraph(g, node_shard, shard);
+    StatusOr<CompressedGraph> summarized = engine.Summarize(shard_graph, run);
+    if (summarized.ok()) {
+      result[shard] = std::move(summarized).value();
+    } else {
+      shard_status[shard] = summarized.status();
+    }
+  };
+
+  if (options_.pool != nullptr && options_.pool->size() > 1 && shards > 1) {
+    options_.pool->Run(shards, [&](uint64_t shard, unsigned) {
+      summarize_one(static_cast<uint32_t>(shard));
+    });
+  } else {
+    for (uint32_t shard = 0; shard < shards; ++shard) summarize_one(shard);
+  }
+
+  for (uint32_t shard = 0; shard < shards; ++shard) {
+    if (!shard_status[shard].ok()) {
+      return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                     " failed: " +
+                                     shard_status[shard].ToString());
+    }
+  }
+  return result;
+}
+
+}  // namespace slugger::dist

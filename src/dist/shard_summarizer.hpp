@@ -1,0 +1,76 @@
+// slugger::dist::ShardSummarizer — the offline half of the sharded
+// pipeline (ISSUE 8, tentpole part 2): run Engine::Summarize once per
+// shard, concurrently on a shared thread pool, and hand back one
+// CompressedGraph per shard ready for the coordinator's registries.
+//
+// Each shard's input is BuildShardGraph(g, manifest, s): the global
+// node-id space over exactly the edges shard s owns, built inside the
+// shard's task and dropped as soon as its summary exists — peak memory
+// is the source graph plus the in-flight shards, not N copies.
+//
+// Hooks fan IN across shards: a single ShardProgress observer receives
+// every shard's per-iteration events (serialized by an internal mutex,
+// so the callback needs no locking of its own), and one CancelToken
+// stops all shards cooperatively — each returns its lossless
+// best-so-far summary, exactly like a single-box cancelled run.
+#ifndef SLUGGER_DIST_SHARD_SUMMARIZER_HPP_
+#define SLUGGER_DIST_SHARD_SUMMARIZER_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "api/compressed_graph.hpp"
+#include "api/engine.hpp"
+#include "dist/manifest.hpp"
+#include "graph/graph.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace slugger::dist {
+
+/// Progress fan-in: fired after every completed iteration of any
+/// shard's run, tagged with the shard id. Invocations are serialized
+/// across shards; ordering between different shards is unspecified.
+using ShardProgress =
+    std::function<void(uint32_t shard, const core::ProgressEvent&)>;
+
+struct ShardSummarizeOptions {
+  /// Per-shard engine knobs. num_threads is forced to 1 inside each
+  /// shard run — parallelism comes from running shards concurrently on
+  /// `pool`, which composes better than nesting pools and keeps every
+  /// shard's summary byte-deterministic.
+  EngineOptions engine;
+
+  /// Shards run as tasks on this pool (work-stealing balances uneven
+  /// shard sizes). Null: shards run sequentially on the calling thread.
+  ThreadPool* pool = nullptr;
+
+  ShardProgress progress;
+  const CancelToken* cancel = nullptr;
+};
+
+class ShardSummarizer {
+ public:
+  /// Validates the engine options once, like slugger::Engine.
+  explicit ShardSummarizer(ShardSummarizeOptions options = {});
+
+  const Status& status() const { return options_status_; }
+
+  /// Summarizes every shard of `manifest` over `g` (the same graph the
+  /// manifest was built from: num_nodes must match). Returns one
+  /// CompressedGraph per shard, indexed by shard id. The first shard
+  /// failure wins (others still run to completion); cancellation is not
+  /// an error and yields lossless best-so-far summaries for all shards.
+  StatusOr<std::vector<CompressedGraph>> SummarizeShards(
+      const graph::Graph& g, const ShardManifest& manifest);
+
+ private:
+  ShardSummarizeOptions options_;
+  Status options_status_;
+};
+
+}  // namespace slugger::dist
+
+#endif  // SLUGGER_DIST_SHARD_SUMMARIZER_HPP_

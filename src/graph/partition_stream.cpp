@@ -1,0 +1,24 @@
+#include "graph/partition_stream.hpp"
+
+#include <utility>
+
+namespace slugger::graph {
+
+std::vector<Edge> ShardEdges(const Graph& g,
+                             std::span<const uint32_t> node_shard,
+                             uint32_t shard) {
+  std::vector<Edge> edges;
+  ForEachShardEdge(g, node_shard, shard,
+                   [&edges](const Edge& e) { edges.push_back(e); });
+  return edges;
+}
+
+Graph BuildShardGraph(const Graph& g, std::span<const uint32_t> node_shard,
+                      uint32_t shard) {
+  // A filtered subsequence of a canonical list is still canonical
+  // (sorted, unique, loop-free), so the fast constructor applies.
+  return Graph::FromCanonicalEdges(g.num_nodes(),
+                                   ShardEdges(g, node_shard, shard));
+}
+
+}  // namespace slugger::graph

@@ -1,0 +1,52 @@
+// Partition-aware edge streams: iterate or materialize the slice of a
+// graph's canonical edge list owned by one shard, without ever holding
+// more than one shard's copy (ISSUE 8). The ownership rule itself lives
+// with the shard manifest (dist/manifest.hpp); this layer only needs
+// the node→shard map, so graph/ stays independent of dist/.
+#ifndef SLUGGER_GRAPH_PARTITION_STREAM_HPP_
+#define SLUGGER_GRAPH_PARTITION_STREAM_HPP_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace slugger::graph {
+
+/// Owner of canonical edge e under the smaller-endpoint rule: the home
+/// shard of e.first (canonical edges satisfy first <= second). Must
+/// agree with dist::ShardManifest::OwnerOf — the manifest delegates to
+/// the same expression.
+inline uint32_t EdgeOwner(std::span<const uint32_t> node_shard,
+                          const Edge& e) {
+  return node_shard[e.first];
+}
+
+/// Streams the canonical edges owned by `shard` in edge-list order,
+/// invoking fn(edge) for each. One pass over g.Edges(), no allocation.
+template <typename Fn>
+void ForEachShardEdge(const Graph& g, std::span<const uint32_t> node_shard,
+                      uint32_t shard, Fn&& fn) {
+  for (const Edge& e : g.Edges()) {
+    if (EdgeOwner(node_shard, e) == shard) fn(e);
+  }
+}
+
+/// Materializes one shard's edge slice (canonical order preserved, so
+/// the result feeds Graph::FromCanonicalEdges directly).
+std::vector<Edge> ShardEdges(const Graph& g,
+                             std::span<const uint32_t> node_shard,
+                             uint32_t shard);
+
+/// The per-shard input graph of the distributed pipeline: the full
+/// global node-id space (so shard summaries answer global ids without a
+/// translation layer) over exactly the edges `shard` owns. Nodes homed
+/// elsewhere appear as isolated leaves, which SLUGGER summarizes for
+/// free — the summary's hierarchy never grows past the edges present.
+Graph BuildShardGraph(const Graph& g, std::span<const uint32_t> node_shard,
+                      uint32_t shard);
+
+}  // namespace slugger::graph
+
+#endif  // SLUGGER_GRAPH_PARTITION_STREAM_HPP_

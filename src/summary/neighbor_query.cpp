@@ -86,7 +86,8 @@ void ResetCoverage(BatchScratch* s) {
 template <bool kDegreesOnly>
 void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
               BatchResult* result, std::vector<uint64_t>* degrees,
-              BatchScratch* s, const std::vector<uint32_t>* leaf_rank) {
+              BatchScratch* s, const std::vector<uint32_t>* leaf_rank,
+              std::span<const uint32_t> precomputed_order) {
   const size_t batch = nodes.size();
   if constexpr (kDegreesOnly) {
     degrees->assign(batch, 0);
@@ -104,7 +105,7 @@ void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
     s->in_touched.resize(summary.num_leaves(), 0);
   }
 
-  ComputeBatchOrder(summary, nodes, s, leaf_rank);
+  ComputeBatchOrder(summary, nodes, s, leaf_rank, precomputed_order);
   s->applied.clear();
   if constexpr (!kDegreesOnly) {
     s->staged.clear();
@@ -295,7 +296,8 @@ size_t QueryDegree(const SummaryGraph& summary, NodeId v,
 
 void ComputeBatchOrder(const SummaryGraph& summary,
                        std::span<const NodeId> nodes, BatchScratch* scratch,
-                       const std::vector<uint32_t>* leaf_rank) {
+                       const std::vector<uint32_t>* leaf_rank,
+                       std::span<const uint32_t> precomputed_order) {
   const HierarchyForest& forest = summary.forest();
   scratch->chains.clear();
   scratch->chain_begin.assign(1, 0);
@@ -308,6 +310,12 @@ void ComputeBatchOrder(const SummaryGraph& summary,
     }
     std::reverse(scratch->chains.begin() + begin, scratch->chains.end());
     scratch->chain_begin.push_back(scratch->chains.size());
+  }
+
+  if (!precomputed_order.empty()) {
+    assert(precomputed_order.size() == nodes.size());
+    scratch->order.assign(precomputed_order.begin(), precomputed_order.end());
+    return;
   }
 
   if (leaf_rank == nullptr) {
@@ -336,15 +344,19 @@ void ComputeBatchOrder(const SummaryGraph& summary,
 void QueryNeighborsBatch(const SummaryGraph& summary,
                          std::span<const NodeId> nodes, BatchResult* result,
                          BatchScratch* scratch,
-                         const std::vector<uint32_t>* leaf_rank) {
-  RunBatch<false>(summary, nodes, result, nullptr, scratch, leaf_rank);
+                         const std::vector<uint32_t>* leaf_rank,
+                         std::span<const uint32_t> precomputed_order) {
+  RunBatch<false>(summary, nodes, result, nullptr, scratch, leaf_rank,
+                  precomputed_order);
 }
 
 void QueryDegreeBatch(const SummaryGraph& summary,
                       std::span<const NodeId> nodes,
                       std::vector<uint64_t>* degrees, BatchScratch* scratch,
-                      const std::vector<uint32_t>* leaf_rank) {
-  RunBatch<true>(summary, nodes, nullptr, degrees, scratch, leaf_rank);
+                      const std::vector<uint32_t>* leaf_rank,
+                      std::span<const uint32_t> precomputed_order) {
+  RunBatch<true>(summary, nodes, nullptr, degrees, scratch, leaf_rank,
+                 precomputed_order);
 }
 
 }  // namespace slugger::summary

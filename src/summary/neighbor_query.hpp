@@ -139,9 +139,18 @@ struct BatchScratch {
 /// long-lived holders (slugger::CompressedGraph) compute it once and pass
 /// it to every batch. When null it is rebuilt into scratch->preorder, an
 /// extra O(|summary|) per call.
+///
+/// `precomputed_order`, when non-empty, must be a permutation of
+/// [0, nodes.size()) that already sorts the batch by leaf rank (ties by
+/// position); it is copied into scratch->order and the O(b log b) sort is
+/// skipped — the win for callers that sorted once globally and now batch a
+/// presorted slice, who pass the identity. The ancestor chains are built
+/// either way. An order that is not locality-sorted only costs speed,
+/// never correctness.
 void ComputeBatchOrder(const SummaryGraph& summary,
                        std::span<const NodeId> nodes, BatchScratch* scratch,
-                       const std::vector<uint32_t>* leaf_rank = nullptr);
+                       const std::vector<uint32_t>* leaf_rank = nullptr,
+                       std::span<const uint32_t> precomputed_order = {});
 
 /// Batched QueryNeighbors: answers every node of `nodes` (duplicates
 /// allowed) into *result, in input order. Internally processes the batch
@@ -150,18 +159,20 @@ void ComputeBatchOrder(const SummaryGraph& summary,
 /// dominant cost of Algorithm 4 — expanding each ancestor's superedges to
 /// leaves — is paid once per distinct chain segment instead of once per
 /// node. Thread-safe for concurrent callers with distinct scratches.
-/// `leaf_rank` as in ComputeBatchOrder.
+/// `leaf_rank` and `precomputed_order` as in ComputeBatchOrder.
 void QueryNeighborsBatch(const SummaryGraph& summary,
                          std::span<const NodeId> nodes, BatchResult* result,
                          BatchScratch* scratch,
-                         const std::vector<uint32_t>* leaf_rank = nullptr);
+                         const std::vector<uint32_t>* leaf_rank = nullptr,
+                         std::span<const uint32_t> precomputed_order = {});
 
 /// Batched QueryDegree under the same amortization: degrees->at(i) is the
 /// degree of nodes[i]; no neighbor list is materialized.
 void QueryDegreeBatch(const SummaryGraph& summary,
                       std::span<const NodeId> nodes,
                       std::vector<uint64_t>* degrees, BatchScratch* scratch,
-                      const std::vector<uint32_t>* leaf_rank = nullptr);
+                      const std::vector<uint32_t>* leaf_rank = nullptr,
+                      std::span<const uint32_t> precomputed_order = {});
 
 /// Convenience wrapper bundling a summary reference with one scratch.
 /// Not thread-safe (share the summary, not the NeighborQuery); concurrent
