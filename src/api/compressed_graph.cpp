@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -13,6 +12,7 @@
 #include "summary/decode.hpp"
 #include "summary/serialize.hpp"
 #include "summary/verify.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace slugger {
@@ -79,21 +79,25 @@ ShardRange ShardBounds(size_t batch, size_t shard, size_t shards) {
 // 2 = materialization failed (error set; queries keep serving paged).
 struct CompressedGraph::PagedBox {
   std::shared_ptr<storage::PagedSummarySource> source;
-  std::mutex mu;
+  Mutex mu;
   std::atomic<int> state{0};
+  // summary / leaf_rank are written once under mu and PUBLISHED by the
+  // release-store of state (readers acquire-load state == 1 before
+  // touching them), so they are protocol-synchronized, not guarded-by —
+  // the sync.hpp convention for verify-once/publish-once data.
   std::shared_ptr<const summary::SummaryGraph> summary;
   std::shared_ptr<const std::vector<uint32_t>> leaf_rank;
-  Status error;
+  Status error SLUGGER_GUARDED_BY(mu);
 
   // Query-error observability (query_errors()/last_status()): counted
   // even on the single-query paths that degrade errors to empty answers.
   std::atomic<uint64_t> query_errors{0};
-  std::mutex err_mu;
-  Status last_error;  ///< guarded by err_mu
+  Mutex err_mu;
+  Status last_error SLUGGER_GUARDED_BY(err_mu);
 
-  void RecordError(const Status& failed) {
+  void RecordError(const Status& failed) SLUGGER_REQUIRES(!err_mu) {
     query_errors.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(err_mu);
+    MutexLock lock(&err_mu);
     last_error = failed;
   }
 };
@@ -131,7 +135,7 @@ uint64_t CompressedGraph::query_errors() const {
 
 Status CompressedGraph::last_status() const {
   if (!box_) return Status::OK();
-  std::lock_guard<std::mutex> lock(box_->err_mu);
+  MutexLock lock(&box_->err_mu);
   return box_->last_error;
 }
 
@@ -157,7 +161,7 @@ const std::vector<uint32_t>& CompressedGraph::ActiveLeafRank() const {
 Status CompressedGraph::Materialize() const {
   if (!box_) return Status::OK();
   if (box_->state.load(std::memory_order_acquire) == 1) return Status::OK();
-  std::lock_guard<std::mutex> lock(box_->mu);
+  MutexLock lock(&box_->mu);
   const int state = box_->state.load(std::memory_order_relaxed);
   if (state == 1) return Status::OK();
   if (state == 2) return box_->error;
@@ -177,6 +181,9 @@ Status CompressedGraph::Materialize() const {
 }
 
 const summary::SummaryGraph& CompressedGraph::summary() const {
+  // A failed materialization is sticky (box_->error); this reference
+  // accessor degrades to the empty in-memory summary, and callers that
+  // need the verdict call Materialize() directly.
   if (box_) (void)Materialize();
   return ActiveSummary();
 }
@@ -419,6 +426,8 @@ uint64_t CompressedGraph::Triangles(ThreadPool* pool) const {
 }
 
 graph::Graph CompressedGraph::Decode(ThreadPool* pool) const {
+  // Sticky failure degrades to decoding the empty summary; the verdict
+  // stays observable through a direct Materialize() call.
   if (box_) (void)Materialize();
   return summary::Decode(ActiveSummary(), pool);
 }

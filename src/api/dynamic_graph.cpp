@@ -50,14 +50,14 @@ DynamicGraph::~DynamicGraph() {
 }
 
 std::shared_ptr<const DynamicGraph::State> DynamicGraph::CurrentState() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(&state_mu_);
   return state_;
 }
 
 void DynamicGraph::SetState(std::shared_ptr<const State> next) {
   std::shared_ptr<const State> retired;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(&state_mu_);
     retired.swap(state_);
     state_ = std::move(next);
   }
@@ -93,7 +93,7 @@ Status DynamicGraph::ValidateEdits(std::span<const EdgeEdit> edits) const {
 }
 
 Status DynamicGraph::ApplyEdits(std::span<const EdgeEdit> edits) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   Status valid = ValidateEdits(edits);
   if (!valid.ok()) return valid;
   if (edits.empty()) return Status::OK();
@@ -103,9 +103,13 @@ Status DynamicGraph::ApplyEdits(std::span<const EdgeEdit> edits) {
   auto next = std::make_shared<stream::EdgeOverlay>(*cur->overlay);
   uint64_t applied = 0;
   uint64_t redundant = 0;
+  // Hoisted while write_mu_ is provably held: the membership-probe lambda
+  // below is analyzed with an empty lock set, so it must not name the
+  // guarded member itself.
+  QueryScratch* probe_scratch = &write_scratch_;
   for (const EdgeEdit& e : edits) {
     const bool changed = next->Apply(
-        e, [&] { return BaseHasEdge(base, e.u, e.v, &write_scratch_); });
+        e, [&] { return BaseHasEdge(base, e.u, e.v, probe_scratch); });
     if (changed) {
       ++applied;
     } else {
@@ -236,15 +240,19 @@ Status DynamicGraph::DegreeBatch(std::span<const NodeId> nodes,
 
 void DynamicGraph::StartBackgroundCompaction(
     std::shared_ptr<const State> snapshot) {
-  std::lock_guard<std::mutex> wlock(worker_mu_);
+  MutexLock wlock(&worker_mu_);
   // The previous worker (if any) has finished — compaction_running_ is
   // false and it clears that flag under write_mu_, which we hold — so
   // this join reaps a dead thread without blocking.
   if (worker_.joinable()) worker_.join();
   pending_log_.clear();
   compaction_running_.store(true, std::memory_order_release);
-  worker_ = std::thread(
-      [this, snap = std::move(snapshot)] { RunCompaction(std::move(snap)); });
+  worker_ = std::thread([this, snap = std::move(snapshot)] {
+    // Fire-and-forget by design: the verdict is recorded in
+    // last_compaction_error_ (and compactions_failed_) before the worker
+    // exits, so nothing is lost with the detached return value.
+    (void)RunCompaction(std::move(snap));
+  });
 }
 
 Status DynamicGraph::RunCompaction(std::shared_ptr<const State> snapshot) {
@@ -252,7 +260,7 @@ Status DynamicGraph::RunCompaction(std::shared_ptr<const State> snapshot) {
   StatusOr<CompressedGraph> result = compactor_.Compact(
       *snapshot->base, *snapshot->overlay, &cancel_, &cstats);
 
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   Status status = result.ok() ? Status::OK() : result.status();
   last_compaction_error_ = status;
   if (!result.ok()) {
@@ -264,11 +272,13 @@ Status DynamicGraph::RunCompaction(std::shared_ptr<const State> snapshot) {
     // Re-base the edits that raced the compaction onto the new summary:
     // both sides start from the same mutated graph, and edits are
     // ensure-present / ensure-absent, so replaying them in order lands
-    // on exactly the state readers were already seeing.
+    // on exactly the state readers were already seeing. (Scratch pointer
+    // hoisted under write_mu_ — see ApplyEdits.)
     auto overlay = std::make_shared<stream::EdgeOverlay>();
+    QueryScratch* probe_scratch = &write_scratch_;
     for (const EdgeEdit& e : pending_log_) {
       overlay->Apply(
-          e, [&] { return BaseHasEdge(*new_base, e.u, e.v, &write_scratch_); });
+          e, [&] { return BaseHasEdge(*new_base, e.u, e.v, probe_scratch); });
     }
     SetState(std::make_shared<State>(
         State{std::move(new_base), std::move(overlay), registry_.version()}));
@@ -279,7 +289,7 @@ Status DynamicGraph::RunCompaction(std::shared_ptr<const State> snapshot) {
   }
   pending_log_.clear();
   compaction_running_.store(false, std::memory_order_release);
-  compaction_done_cv_.notify_all();
+  compaction_done_cv_.NotifyAll();
   return status;
 }
 
@@ -287,7 +297,7 @@ Status DynamicGraph::Compact() {
   std::shared_ptr<const State> snapshot;
   while (true) {
     WaitForCompaction();
-    std::unique_lock<std::mutex> lock(write_mu_);
+    MutexLock lock(&write_mu_);
     // A concurrent ApplyEdits may have re-triggered auto-compaction
     // between the wait and the lock; wait it out and try again.
     if (compaction_running_.load(std::memory_order_acquire)) continue;
@@ -306,18 +316,18 @@ void DynamicGraph::WaitForCompaction() {
   // synchronous Compact() calls running on other threads too.
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lock(worker_mu_);
+    MutexLock lock(&worker_mu_);
     worker = std::move(worker_);
   }
   if (worker.joinable()) worker.join();
-  std::unique_lock<std::mutex> lock(write_mu_);
-  compaction_done_cv_.wait(lock, [this] {
-    return !compaction_running_.load(std::memory_order_acquire);
-  });
+  MutexLock lock(&write_mu_);
+  while (compaction_running_.load(std::memory_order_acquire)) {
+    compaction_done_cv_.Wait(write_mu_);
+  }
 }
 
 Status DynamicGraph::last_compaction_error() const {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   return last_compaction_error_;
 }
 

@@ -29,10 +29,8 @@
 #define SLUGGER_API_DYNAMIC_GRAPH_HPP_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -45,6 +43,7 @@
 #include "stream/edge_overlay.hpp"
 #include "util/cancel.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace slugger {
 
@@ -112,7 +111,8 @@ class DynamicGraph {
   /// readers run lock-free). The copy is O(current corrections), so
   /// batch edits where you can: a k-edit batch pays one copy, k calls
   /// to ApplyEdit pay k.
-  Status ApplyEdits(std::span<const EdgeEdit> edits);
+  Status ApplyEdits(std::span<const EdgeEdit> edits)
+      SLUGGER_REQUIRES(!write_mu_, !state_mu_);
 
   /// Single-edit convenience. Per-call cost is the same as a 1-edit
   /// batch (including the O(corrections) snapshot copy) — prefer
@@ -148,11 +148,11 @@ class DynamicGraph {
   /// Synchronous compaction: waits for any in-flight background run,
   /// then folds/rebuilds the current overlay per policy. OK with an
   /// empty overlay (no-op). Readers keep serving throughout.
-  Status Compact();
+  Status Compact() SLUGGER_REQUIRES(!write_mu_, !worker_mu_, !state_mu_);
 
   /// Blocks until no background compaction is in flight. (A new one may
   /// start from a concurrent ApplyEdits afterwards.)
-  void WaitForCompaction();
+  void WaitForCompaction() SLUGGER_REQUIRES(!worker_mu_, !write_mu_);
 
   bool compaction_in_flight() const {
     return compaction_running_.load(std::memory_order_acquire);
@@ -165,7 +165,7 @@ class DynamicGraph {
   /// failure is deterministic, so re-spawning a doomed rebuild after
   /// every batch would only burn decode time while the overlay grows.
   /// An explicit Compact() still runs (and reports the error afresh).
-  Status last_compaction_error() const;
+  Status last_compaction_error() const SLUGGER_REQUIRES(!write_mu_);
 
   /// Every compacted base is published here (version 1 is the summary
   /// the DynamicGraph was constructed with). External consumers that
@@ -201,16 +201,20 @@ class DynamicGraph {
     uint64_t base_version = 0;
   };
 
-  std::shared_ptr<const State> CurrentState() const;
-  void SetState(std::shared_ptr<const State> next);
+  std::shared_ptr<const State> CurrentState() const
+      SLUGGER_REQUIRES(!state_mu_);
+  void SetState(std::shared_ptr<const State> next)
+      SLUGGER_REQUIRES(!state_mu_);
   bool BaseHasEdge(const CompressedGraph& base, NodeId u, NodeId v,
                    QueryScratch* scratch) const;
   Status ValidateEdits(std::span<const EdgeEdit> edits) const;
-  /// Claims the compaction slot for `snapshot` (write_mu_ held).
-  void StartBackgroundCompaction(std::shared_ptr<const State> snapshot);
+  /// Claims the compaction slot for `snapshot`.
+  void StartBackgroundCompaction(std::shared_ptr<const State> snapshot)
+      SLUGGER_REQUIRES(write_mu_, !worker_mu_);
   /// Compacts `snapshot`, publishes, re-bases pending edits, releases
   /// the claimed slot. Runs with no locks held until the publish step.
-  Status RunCompaction(std::shared_ptr<const State> snapshot);
+  Status RunCompaction(std::shared_ptr<const State> snapshot)
+      SLUGGER_REQUIRES(!write_mu_, !state_mu_);
 
   NodeId num_nodes_ = 0;
   DynamicGraphOptions options_;
@@ -220,22 +224,24 @@ class DynamicGraph {
 
   /// Guards state_ swaps and reads (pointer copy only — the pointee is
   /// immutable, so readers never hold it while querying).
-  mutable std::mutex state_mu_;
-  std::shared_ptr<const State> state_;
+  mutable Mutex state_mu_;
+  std::shared_ptr<const State> state_ SLUGGER_GUARDED_BY(state_mu_);
 
   /// Serializes writers: ApplyEdits bodies, compaction claim/publish,
   /// and the pending-edit log. Never held while compacting or querying
   /// (mutable only for the const last_compaction_error() accessor).
-  mutable std::mutex write_mu_;
-  std::vector<EdgeEdit> pending_log_;  ///< edits since compaction started
-  QueryScratch write_scratch_;         ///< base-membership probe buffers
+  mutable Mutex write_mu_;
+  /// Edits since compaction started.
+  std::vector<EdgeEdit> pending_log_ SLUGGER_GUARDED_BY(write_mu_);
+  /// Base-membership probe buffers.
+  QueryScratch write_scratch_ SLUGGER_GUARDED_BY(write_mu_);
   std::atomic<bool> compaction_running_{false};
-  std::condition_variable compaction_done_cv_;  ///< with write_mu_
-  Status last_compaction_error_;                ///< guarded by write_mu_
+  CondVar compaction_done_cv_;  ///< with write_mu_
+  Status last_compaction_error_ SLUGGER_GUARDED_BY(write_mu_);
 
   /// Guards the worker handle only (join must not hold write_mu_).
-  std::mutex worker_mu_;
-  std::thread worker_;
+  Mutex worker_mu_;
+  std::thread worker_ SLUGGER_GUARDED_BY(worker_mu_);
 
   std::atomic<uint64_t> edits_applied_{0};
   std::atomic<uint64_t> edits_redundant_{0};

@@ -9,7 +9,7 @@ SnapshotRegistry::SnapshotRegistry(CompressedGraph initial) {
 }
 
 SnapshotRegistry::Snapshot SnapshotRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_;
 }
 
@@ -17,7 +17,9 @@ SnapshotRegistry::Snapshot SnapshotRegistry::Publish(
     CompressedGraph replacement) {
   Snapshot snapshot =
       std::make_shared<const CompressedGraph>(std::move(replacement));
-  Publish(Snapshot(snapshot));  // never fails: snapshot is non-null
+  // Never fails: snapshot was just allocated, so the null check — the
+  // overload's only error path — cannot trip.
+  (void)Publish(Snapshot(snapshot));
   return snapshot;
 }
 
@@ -27,7 +29,7 @@ Status SnapshotRegistry::Publish(Snapshot replacement) {
   }
   Snapshot retired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     retired = std::move(current_);
     current_ = std::move(replacement);
     version_.fetch_add(1, std::memory_order_relaxed);

@@ -21,10 +21,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "api/compressed_graph.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace slugger {
 
@@ -47,7 +47,7 @@ class SnapshotRegistry {
   /// Grab once per request and query the copy — do not re-fetch between
   /// dependent queries, or a concurrent swap may split them across
   /// summaries.
-  Snapshot Current() const;
+  Snapshot Current() const SLUGGER_REQUIRES(!mu_);
 
   /// Monotonic publish counter (0 before any Publish). A cheap way for
   /// readers to notice a swap without holding snapshots.
@@ -57,16 +57,22 @@ class SnapshotRegistry {
 
   /// Atomically replaces the served snapshot, taking ownership of the
   /// replacement. Returns the snapshot now being served.
-  Snapshot Publish(CompressedGraph replacement);
+  Snapshot Publish(CompressedGraph replacement) SLUGGER_REQUIRES(!mu_);
 
   /// Same, for a snapshot the caller already shares (e.g. one registry
   /// feeding several). InvalidArgument on null — the registry never
   /// swaps in an unserveable state.
-  Status Publish(Snapshot replacement);
+  ///
+  /// The REQUIRES(!mu_) is the retire-outside-lock obligation made
+  /// static: the retired snapshot's destructor (potentially a whole
+  /// summary) must run after mu_ is dropped, so no caller may enter with
+  /// mu_ held and no refactor may hoist the swap into a wider critical
+  /// section.
+  Status Publish(Snapshot replacement) SLUGGER_REQUIRES(!mu_);
 
  private:
-  mutable std::mutex mu_;
-  Snapshot current_;
+  mutable Mutex mu_;
+  Snapshot current_ SLUGGER_GUARDED_BY(mu_);
   std::atomic<uint64_t> version_{0};
 };
 

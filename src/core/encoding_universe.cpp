@@ -231,6 +231,7 @@ Universe BuildCase2(bool a_int, bool b_int, bool c_int, uint8_t code) {
 
 const Universe& GetCase1Universe(SideShape a, SideShape b) {
   static const std::array<Universe, 25>* kTable = [] {
+    // lint:allow(naked-new: intentionally leaked table, no exit-order dtor)
     auto* table = new std::array<Universe, 25>();
     for (int i = 0; i < 5; ++i) {
       for (int j = 0; j < 5; ++j) {
@@ -247,6 +248,7 @@ const Universe& GetCase1Universe(SideShape a, SideShape b) {
 const Universe& GetCase2Universe(bool a_internal, bool b_internal,
                                  bool c_internal) {
   static const std::array<Universe, 8>* kTable = [] {
+    // lint:allow(naked-new: intentionally leaked table, no exit-order dtor)
     auto* table = new std::array<Universe, 8>();
     for (int i = 0; i < 8; ++i) {
       (*table)[i] = BuildCase2(i & 4, i & 2, i & 1,

@@ -5,6 +5,7 @@
 namespace slugger::core {
 
 MemoTable& MemoTable::Global() {
+  // lint:allow(naked-new: intentionally leaked singleton, no exit-order dtor)
   static MemoTable* instance = new MemoTable();
   return *instance;
 }

@@ -5,7 +5,6 @@
 #include <cassert>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "core/slugger_state.hpp"
 #include "util/random.hpp"
 #include "util/sharded_lock.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -219,7 +219,10 @@ struct AsyncShared {
   explicit AsyncShared(uint32_t shard_count) : locks(shard_count) {}
   TwoGroupLock rooms;
   ShardedLockTable locks;
-  std::mutex growth_mu;
+  // No guarded members: the state it serializes (MergeRootsStructural's
+  // appends) lives in SluggerState, whose concurrent ops carry their own
+  // contract. The mutex expresses mutual exclusion, not data ownership.
+  Mutex growth_mu;
   std::atomic<uint64_t> commit_version{0};
 };
 
@@ -230,11 +233,16 @@ struct AsyncShared {
 /// escaped the held set, everything is released and retried with the
 /// union. Monotone growth of `held` (bounded by the shard count)
 /// guarantees termination. Must be called inside the commit room.
+// ACQUIRE(locks) hands the whole-table capability to the caller; the body
+// opts out of analysis because the retry loop's transient Lock/Unlock
+// cycling is exactly the dynamic-lock-set pattern the static model
+// abstracts away (see sharded_lock.hpp).
 void LockCommitNeighborhood(const SluggerState& state, ShardedLockTable& locks,
                             SupernodeId a, SupernodeId b,
                             std::vector<uint32_t>* held,
                             std::vector<uint32_t>* want,
-                            std::vector<uint32_t>* merged) {
+                            std::vector<uint32_t>* merged)
+    SLUGGER_ACQUIRE(locks) SLUGGER_NO_THREAD_SAFETY_ANALYSIS {
   held->clear();
   held->push_back(locks.ShardOf(a));
   held->push_back(locks.ShardOf(b));
@@ -277,7 +285,7 @@ SupernodeId CommitSharded(SluggerState& state, AsyncShared& shared,
   }
   SupernodeId m;
   {
-    std::lock_guard<std::mutex> growth(shared.growth_mu);
+    MutexLock growth(&shared.growth_mu);
     m = state.MergeRootsStructural(plan.a, plan.b);
   }
   // The fold touches root_adj_ of {a, b, m} and of their neighbors only —

@@ -10,11 +10,13 @@ namespace slugger::dist {
 
 Coordinator::Coordinator(ServingEpoch initial, CoordinatorOptions options)
     : options_(options) {
+  // A rejected initial epoch is observed through status(): the Engine
+  // idiom for constructors that cannot throw.
   (void)AdoptEpoch(std::move(initial));
 }
 
 Status Coordinator::status() const {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  MutexLock lock(&epoch_mu_);
   return epoch_status_;
 }
 
@@ -38,23 +40,30 @@ Status Coordinator::ValidateEpoch(const ServingEpoch& epoch) const {
 }
 
 std::shared_ptr<const ServingEpoch> Coordinator::epoch() const {
-  std::lock_guard<std::mutex> lock(epoch_mu_);
+  MutexLock lock(&epoch_mu_);
   return epoch_;
 }
 
 Status Coordinator::AdoptEpoch(ServingEpoch next) {
   Status valid = ValidateEpoch(next);
   if (!valid.ok()) {
-    std::lock_guard<std::mutex> lock(epoch_mu_);
+    MutexLock lock(&epoch_mu_);
     // Record the rejection only while inert; a serving coordinator
     // keeps its healthy verdict and the old epoch keeps serving.
     if (epoch_ == nullptr) epoch_status_ = valid;
     return valid;
   }
   auto installed = std::make_shared<const ServingEpoch>(std::move(next));
-  std::lock_guard<std::mutex> lock(epoch_mu_);
-  epoch_ = std::move(installed);
-  epoch_status_ = Status::OK();
+  std::shared_ptr<const ServingEpoch> retired;
+  {
+    MutexLock lock(&epoch_mu_);
+    retired = std::move(epoch_);
+    epoch_ = std::move(installed);
+    epoch_status_ = Status::OK();
+  }
+  // `retired` drops here, outside epoch_mu_: if this was the last owner
+  // of the old epoch (whole registries of summaries), its destruction
+  // must not stall concurrent status()/epoch() readers.
   return Status::OK();
 }
 

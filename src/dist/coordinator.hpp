@@ -32,7 +32,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -41,6 +40,7 @@
 #include "api/snapshot_registry.hpp"
 #include "dist/manifest.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace slugger {
 class ThreadPool;
@@ -98,18 +98,21 @@ class Coordinator {
   /// Verdict of the most recent epoch install (construction or
   /// AdoptEpoch). Returned by value: the verdict may be replaced by a
   /// concurrent AdoptEpoch, so a reference would race.
-  Status status() const;
+  Status status() const SLUGGER_REQUIRES(!epoch_mu_);
 
   const CoordinatorOptions& options() const { return options_; }
 
   /// The epoch new batches will read; in-flight batches keep the one
   /// they grabbed (shared_ptr pins it, registry snapshots pin the
   /// summaries — nothing a swap can pull out from under a reader).
-  std::shared_ptr<const ServingEpoch> epoch() const;
+  std::shared_ptr<const ServingEpoch> epoch() const
+      SLUGGER_REQUIRES(!epoch_mu_);
 
   /// Atomically replaces the served epoch (the rebalance publish step).
   /// InvalidArgument on a malformed epoch; the old epoch keeps serving.
-  Status AdoptEpoch(ServingEpoch next);
+  /// The retired epoch (and whatever snapshots only it still pins) is
+  /// released outside epoch_mu_, SnapshotRegistry-style.
+  Status AdoptEpoch(ServingEpoch next) SLUGGER_REQUIRES(!epoch_mu_);
 
   /// Scatter-gather NeighborsBatch: answers land in *out in input
   /// order, each list sorted ascending. InvalidArgument if any id is
@@ -143,9 +146,9 @@ class Coordinator {
                           GatherStats* stats) const;
 
   CoordinatorOptions options_;
-  mutable std::mutex epoch_mu_;
-  Status epoch_status_;  ///< guarded by epoch_mu_
-  std::shared_ptr<const ServingEpoch> epoch_;  ///< guarded by epoch_mu_
+  mutable Mutex epoch_mu_;
+  Status epoch_status_ SLUGGER_GUARDED_BY(epoch_mu_);
+  std::shared_ptr<const ServingEpoch> epoch_ SLUGGER_GUARDED_BY(epoch_mu_);
 };
 
 }  // namespace slugger::dist

@@ -1,10 +1,10 @@
 #include "dist/shard_summarizer.hpp"
 
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "graph/partition_stream.hpp"
+#include "util/sync.hpp"
 
 namespace slugger::dist {
 
@@ -28,7 +28,10 @@ StatusOr<std::vector<CompressedGraph>> ShardSummarizer::SummarizeShards(
   std::vector<CompressedGraph> result(shards);
   std::vector<Status> shard_status(shards);
 
-  std::mutex progress_mu;
+  // Serializes the user's progress callback across shard tasks; local to
+  // this call, so there are no guarded members — the lambda below is the
+  // only code that touches what it protects (the callback itself).
+  Mutex progress_mu;
   const std::span<const uint32_t> node_shard = manifest.node_map();
 
   const auto summarize_one = [&](uint32_t shard) {
@@ -40,7 +43,7 @@ StatusOr<std::vector<CompressedGraph>> ShardSummarizer::SummarizeShards(
     run.cancel = options_.cancel;
     if (options_.progress) {
       run.progress = [&, shard](const core::ProgressEvent& event) {
-        std::lock_guard<std::mutex> lock(progress_mu);
+        MutexLock lock(&progress_mu);
         options_.progress(shard, event);
       };
     }

@@ -92,6 +92,12 @@ StatusOr<Graph> LoadBinary(const std::string& path) {
   if (!(s = reader.Get(&n)).ok()) return s;
   if (!(s = reader.Get(&m)).ok()) return s;
   if (n > 0xFFFFFFFFull) return Status::Corruption("node count overflow");
+  // Bound the claimed edge count before sizing anything by it: every
+  // edge costs at least two stream bytes (two varints), so a count the
+  // remaining bytes cannot hold is corrupt — not a 16-exabyte reserve.
+  if (m > reader.remaining() / 2) {
+    return Status::Corruption("edge count exceeds file size in " + path);
+  }
 
   std::vector<Edge> edges;
   edges.reserve(m);

@@ -58,6 +58,7 @@ StatusOr<std::unique_ptr<BufferManager>> BufferManager::OpenFile(
     return Status::Corruption("file length changed under the open");
   }
 
+  // lint:allow(naked-new: private ctor, wrapped in unique_ptr on this line)
   auto mgr = std::unique_ptr<BufferManager>(new BufferManager());
   mgr->page_size_ = page_size;
   mgr->num_pages_ = static_cast<uint32_t>(page_checksums.size());
@@ -102,6 +103,7 @@ StatusOr<std::unique_ptr<BufferManager>> BufferManager::FromBuffer(
           static_cast<uint64_t>(page_checksums.size()) * page_size) {
     return Status::InvalidArgument("buffer length does not match pages");
   }
+  // lint:allow(naked-new: private ctor, wrapped in unique_ptr on this line)
   auto mgr = std::unique_ptr<BufferManager>(new BufferManager());
   mgr->backend_ = Io::kMemory;
   mgr->page_size_ = page_size;
@@ -165,7 +167,7 @@ StatusOr<const uint8_t*> BufferManager::FetchDirect(uint32_t page) {
 }
 
 StatusOr<const uint8_t*> BufferManager::FetchPread(uint32_t page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = frames_.find(page);
   if (it != frames_.end()) {
     it->second.pins++;
@@ -227,7 +229,7 @@ StatusOr<const uint8_t*> BufferManager::FetchPread(uint32_t page) {
 void BufferManager::Unpin(uint32_t page) {
   pinned_.fetch_sub(1, std::memory_order_relaxed);
   if (backend_ == Io::kPread) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = frames_.find(page);
     if (it != frames_.end() && it->second.pins > 0) it->second.pins--;
   }

@@ -30,12 +30,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace slugger::storage {
 
@@ -135,9 +135,9 @@ class BufferManager {
   friend class PageRef;
   BufferManager() = default;
 
-  void Unpin(uint32_t page);
+  void Unpin(uint32_t page) SLUGGER_REQUIRES(!mu_);
   StatusOr<const uint8_t*> FetchDirect(uint32_t page);  ///< mmap/memory
-  StatusOr<const uint8_t*> FetchPread(uint32_t page);
+  StatusOr<const uint8_t*> FetchPread(uint32_t page) SLUGGER_REQUIRES(!mu_);
 
   Io backend_ = Io::kMemory;
   uint32_t page_size_ = 0;
@@ -161,9 +161,9 @@ class BufferManager {
     uint32_t pins = 0;
     uint64_t tick = 0;
   };
-  std::mutex mu_;
-  std::unordered_map<uint32_t, Frame> frames_;
-  uint64_t clock_ = 0;
+  Mutex mu_;
+  std::unordered_map<uint32_t, Frame> frames_ SLUGGER_GUARDED_BY(mu_);
+  uint64_t clock_ SLUGGER_GUARDED_BY(mu_) = 0;
 
   // Counters (relaxed; exactness only matters within single-threaded
   // accounting tests).

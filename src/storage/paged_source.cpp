@@ -119,6 +119,7 @@ StatusOr<std::vector<uint64_t>> PagedSummarySource::LoadPageTable(
 StatusOr<std::shared_ptr<PagedSummarySource>> PagedSummarySource::Finish(
     PagedHeader header, std::unique_ptr<BufferManager> buffer,
     const PagedOpenOptions& options) {
+  // lint:allow(naked-new: private ctor, wrapped in shared_ptr on this line)
   auto src = std::shared_ptr<PagedSummarySource>(new PagedSummarySource());
   src->header_ = header;
   src->buffer_ = std::move(buffer);
@@ -310,7 +311,7 @@ StatusOr<std::shared_ptr<const PagedSummarySource::DecodedRecord>>
 PagedSummarySource::FetchRecord(uint32_t fid) const {
   CacheShard& shard = cache_[fid % kCacheShards];
   if (cache_capacity_per_shard_ > 0) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.map.find(fid);
     if (it != shard.map.end()) return it->second;
   }
@@ -321,7 +322,7 @@ PagedSummarySource::FetchRecord(uint32_t fid) const {
   auto ptr =
       std::make_shared<const DecodedRecord>(std::move(rec).value());
   if (cache_capacity_per_shard_ > 0) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     if (shard.map.find(fid) == shard.map.end()) {
       if (shard.map.size() >= cache_capacity_per_shard_ &&
           !shard.fifo.empty()) {

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -37,6 +36,7 @@
 #include "summary/stats.hpp"
 #include "summary/summary_graph.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 #include "util/types.hpp"
 
 namespace slugger::storage {
@@ -177,9 +177,10 @@ class PagedSummarySource {
   // lock; FIFO eviction per shard (records are uniform enough that LRU
   // buys little over FIFO here).
   struct CacheShard {
-    std::mutex mu;
-    std::unordered_map<uint32_t, std::shared_ptr<const DecodedRecord>> map;
-    std::deque<uint32_t> fifo;
+    Mutex mu;
+    std::unordered_map<uint32_t, std::shared_ptr<const DecodedRecord>> map
+        SLUGGER_GUARDED_BY(mu);
+    std::deque<uint32_t> fifo SLUGGER_GUARDED_BY(mu);
   };
   static constexpr size_t kCacheShards = 16;
   mutable std::array<CacheShard, kCacheShards> cache_;

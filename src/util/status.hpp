@@ -12,7 +12,13 @@
 namespace slugger {
 
 /// Result of a fallible operation: OK or an error code plus message.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning Status (or
+/// StatusOr) warn when the result is dropped; under -Werror CI legs that
+/// is a build break. Genuinely fire-and-forget call sites must say so
+/// with an explicit (void) cast and a comment naming where the error is
+/// observed instead.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -62,7 +68,7 @@ class Status {
 
 /// Either a value or the Status explaining why there is none.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
     assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");

@@ -1,0 +1,231 @@
+// Capability-annotated synchronization vocabulary: the ONLY place in the
+// tree allowed to name std::mutex (tools/lint/check_invariants.py enforces
+// this).
+//
+// Every lock in the codebase is a slugger::Mutex / SharedMutex wrapped in
+// Clang Thread Safety Analysis attributes, so the locking discipline that
+// used to live in comments — which members a mutex guards, which methods
+// must (not) be called with it held, which helpers acquire it for the
+// caller — is checked at compile time by the clang CI legs
+// (-Wthread-safety -Werror). On compilers without the attributes (gcc)
+// every macro expands to nothing and the wrappers cost exactly a
+// std::mutex.
+//
+// Convention used across the tree:
+//   - members:   Type member_ SLUGGER_GUARDED_BY(mu_);
+//   - methods:   void Publish() SLUGGER_REQUIRES(!mu_);   // retire work
+//                outside the lock (SnapshotRegistry, DynamicGraph)
+//                Status Helper() SLUGGER_REQUIRES(write_mu_);
+//   - acquire-for-caller helpers: SLUGGER_ACQUIRE(mu) on the declaration,
+//     SLUGGER_NO_THREAD_SAFETY_ANALYSIS on the definition when the body's
+//     locking is protocol-driven (retry loops over dynamic lock sets);
+//     the contract still binds every call site.
+//   - data published through an atomic flag (BufferManager's verify-once
+//     page states, CompressedGraph's materialize box) is NOT guarded-by:
+//     the release/acquire pair on the flag is the synchronization, and a
+//     comment at the member says so.
+//
+// The analysis is intraprocedural and checks lambdas as separate
+// functions with an empty lock set: never touch a guarded member from a
+// lambda — hoist a local pointer/copy while the lock is provably held.
+#ifndef SLUGGER_UTIL_SYNC_HPP_
+#define SLUGGER_UTIL_SYNC_HPP_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ----------------------------------------------------------------- macros
+#if defined(__clang__)
+#define SLUGGER_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SLUGGER_THREAD_ANNOTATION_(x)  // gcc and friends: compiles away
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "shared_mutex").
+#define SLUGGER_CAPABILITY(x) SLUGGER_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires in its ctor / releases in its dtor.
+#define SLUGGER_SCOPED_CAPABILITY SLUGGER_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member may only be touched while the named capability is held.
+#define SLUGGER_GUARDED_BY(x) SLUGGER_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee may only be touched while the named capability is held.
+#define SLUGGER_PT_GUARDED_BY(x) SLUGGER_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) when calling.
+#define SLUGGER_REQUIRES(...) \
+  SLUGGER_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared when calling.
+#define SLUGGER_REQUIRES_SHARED(...) \
+  SLUGGER_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and returns holding it.
+#define SLUGGER_ACQUIRE(...) \
+  SLUGGER_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability in shared mode.
+#define SLUGGER_ACQUIRE_SHARED(...) \
+  SLUGGER_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the (exclusively held) capability.
+#define SLUGGER_RELEASE(...) \
+  SLUGGER_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases the shared-held capability.
+#define SLUGGER_RELEASE_SHARED(...) \
+  SLUGGER_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability whichever mode it was held in.
+#define SLUGGER_RELEASE_GENERIC(...) \
+  SLUGGER_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the return value
+/// that means success.
+#define SLUGGER_TRY_ACQUIRE(...) \
+  SLUGGER_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself,
+/// or performs work — like retiring a snapshot — that must not run under
+/// it). Equivalent contract to SLUGGER_REQUIRES(!x) but checkable without
+/// -Wthread-safety-negative.
+#define SLUGGER_EXCLUDES(...) \
+  SLUGGER_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the named capability
+/// (accessors that expose a lock for callers to acquire).
+#define SLUGGER_RETURN_CAPABILITY(x) \
+  SLUGGER_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the calling thread holds the capability; tells
+/// the analysis to trust it from here on.
+#define SLUGGER_ASSERT_CAPABILITY(x) \
+  SLUGGER_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Documented lock-ordering edges (a must be taken before b).
+#define SLUGGER_ACQUIRED_BEFORE(...) \
+  SLUGGER_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SLUGGER_ACQUIRED_AFTER(...) \
+  SLUGGER_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off INSIDE this function body (its
+/// declared contract still binds callers). Reserve it for protocol-driven
+/// locking the static analysis cannot express, and say why at the site.
+#define SLUGGER_NO_THREAD_SAFETY_ANALYSIS \
+  SLUGGER_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace slugger {
+
+// ---------------------------------------------------------------- wrappers
+
+/// std::mutex as a named capability. Prefer MutexLock over manual
+/// Lock/Unlock pairs; manual pairs are for split acquire/release across
+/// branches, where the analysis still checks balance.
+class SLUGGER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SLUGGER_ACQUIRE() { mu_.lock(); }
+  void Unlock() SLUGGER_RELEASE() { mu_.unlock(); }
+  bool TryLock() SLUGGER_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex as a capability with reader/writer modes.
+class SLUGGER_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SLUGGER_ACQUIRE() { mu_.lock(); }
+  void Unlock() SLUGGER_RELEASE() { mu_.unlock(); }
+  void ReaderLock() SLUGGER_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() SLUGGER_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard replacement).
+class SLUGGER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SLUGGER_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SLUGGER_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Scoped shared lock on a SharedMutex.
+class SLUGGER_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) SLUGGER_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderLock() SLUGGER_RELEASE_GENERIC() { mu_->ReaderUnlock(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Scoped exclusive lock on a SharedMutex.
+class SLUGGER_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) SLUGGER_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() SLUGGER_RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to Mutex. Wait() declares the classic cv
+/// contract — the caller holds the mutex, the wait releases and reacquires
+/// it — so forgetting the lock is a compile error under clang. There is
+/// deliberately no predicate overload: a predicate lambda would be
+/// analyzed with an empty lock set and flag every guarded read inside it,
+/// so waits are written as explicit `while (!cond) cv.Wait(mu);` loops in
+/// the annotated caller, where the condition's guarded reads are checked
+/// against the held lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, reacquires before returning.
+  /// Spurious wakeups happen; always wait in a condition loop.
+  void Wait(Mutex& mu) SLUGGER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the re-acquired lock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace slugger
+
+#endif  // SLUGGER_UTIL_SYNC_HPP_

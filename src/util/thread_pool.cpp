@@ -19,13 +19,17 @@ ThreadPool::ThreadPool(unsigned num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
+// job_ / job_num_tasks_ are read without mu_: the epoch handoff in
+// WorkerLoop (write under mu_, then wake; clear only after every helper
+// decremented helpers_active_) is the happens-before protocol, which the
+// static analysis cannot see.
 void ThreadPool::DrainTasks(unsigned worker) {
   const TaskFn& fn = *job_;
   const uint64_t end = job_num_tasks_;
@@ -40,17 +44,17 @@ void ThreadPool::WorkerLoop(unsigned worker) {
   uint64_t seen_epoch = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(&mu_);
+      while (!stop_ && epoch_ == seen_epoch) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_epoch = epoch_;
     }
     DrainTasks(worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --helpers_active_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 
@@ -61,18 +65,18 @@ void ThreadPool::Run(uint64_t num_tasks, const TaskFn& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_ = &fn;
     job_num_tasks_ = num_tasks;
     next_task_.store(0, std::memory_order_relaxed);
     helpers_active_ = num_workers_ - 1;
     ++epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   DrainTasks(/*worker=*/0);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return helpers_active_ == 0; });
+    MutexLock lock(&mu_);
+    while (helpers_active_ != 0) done_cv_.Wait(mu_);
     job_ = nullptr;
   }
 }

@@ -15,12 +15,12 @@
 #define SLUGGER_UTIL_THREAD_POOL_HPP_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace slugger {
 
@@ -45,29 +45,35 @@ class ThreadPool {
 
   /// Runs fn over all task indices in [0, num_tasks), stealing tasks from
   /// a shared counter; returns when every task has completed.
-  void Run(uint64_t num_tasks, const TaskFn& fn);
+  void Run(uint64_t num_tasks, const TaskFn& fn) SLUGGER_EXCLUDES(mu_);
 
   /// Splits [0, n) into chunks of at most `grain` and runs
   /// fn(begin, end, worker) over them via Run().
   void ParallelFor(uint64_t n, uint64_t grain,
                    const std::function<void(uint64_t begin, uint64_t end,
-                                            unsigned worker)>& fn);
+                                            unsigned worker)>& fn)
+      SLUGGER_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(unsigned worker);
+  void WorkerLoop(unsigned worker) SLUGGER_EXCLUDES(mu_);
   void DrainTasks(unsigned worker);
 
   unsigned num_workers_ = 1;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals a new job epoch
-  std::condition_variable done_cv_;   // signals helpers finished the job
-  uint64_t epoch_ = 0;                // bumped per job (guarded by mu_)
-  unsigned helpers_active_ = 0;       // spawned workers still in the job
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;                   // signals a new job epoch
+  CondVar done_cv_;                   // signals helpers finished the job
+  uint64_t epoch_ SLUGGER_GUARDED_BY(mu_) = 0;  // bumped per job
+  unsigned helpers_active_ SLUGGER_GUARDED_BY(mu_) = 0;
+  bool stop_ SLUGGER_GUARDED_BY(mu_) = false;
 
-  // Current job; valid while helpers_active_ > 0 or worker 0 is draining.
+  // Current job. Written under mu_ before the epoch bump that wakes the
+  // helpers and cleared only after every helper checked in, so DrainTasks
+  // reads it lock-free: the cv handoff is the happens-before edge. That
+  // protocol — not a lock — is the synchronization, so these members are
+  // deliberately NOT guarded-by (the sync.hpp convention for
+  // publication-protocol data).
   const TaskFn* job_ = nullptr;
   uint64_t job_num_tasks_ = 0;
   std::atomic<uint64_t> next_task_{0};

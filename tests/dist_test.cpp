@@ -398,6 +398,59 @@ TEST(Coordinator, RejectedAdoptKeepsTheOldEpochServing) {
   ExpectShardedAgreesWithSingleBox(g, single, sharded, nodes);
 }
 
+TEST(Coordinator, AdoptEpochRetiresTheOldEpochOutsideItsLock) {
+  // Regression test: AdoptEpoch used to drop the last reference to the
+  // retired epoch while still holding epoch_mu_. A destructor that
+  // re-enters the coordinator (or merely a large epoch teardown) would
+  // then run inside the lock, stalling — or here, deadlocking — every
+  // concurrent status()/epoch() reader. The traced registry's deleter
+  // calls status(): with the retire-outside-lock discipline it returns;
+  // with the regression this test hangs on the non-recursive mutex.
+  graph::Graph g = gen::ErdosRenyi(50, 100, 11);
+  StatusOr<dist::ShardManifest> partitioned = dist::PartitionGraph(g, {});
+  ASSERT_TRUE(partitioned.ok());
+  auto manifest = std::make_shared<const dist::ShardManifest>(
+      std::move(partitioned).value());
+
+  dist::Coordinator* coord_ptr = nullptr;
+  std::atomic<bool> deleter_ran{false};
+  std::atomic<bool> status_ok_in_deleter{false};
+
+  dist::ServingEpoch first;
+  first.manifest = manifest;
+  {
+    auto inner = std::make_shared<SnapshotRegistry>();
+    first.shards.emplace_back(
+        inner.get(), [inner, &coord_ptr, &deleter_ran,
+                      &status_ok_in_deleter](SnapshotRegistry*) mutable {
+          if (coord_ptr != nullptr) {
+            status_ok_in_deleter.store(coord_ptr->status().ok());
+          }
+          deleter_ran.store(true);
+          inner.reset();
+        });
+  }
+  for (uint32_t s = 1; s < manifest->num_shards(); ++s) {
+    first.shards.push_back(std::make_shared<SnapshotRegistry>());
+  }
+
+  dist::Coordinator coord(std::move(first));
+  ASSERT_TRUE(coord.status().ok());
+  coord_ptr = &coord;
+
+  dist::ServingEpoch second;
+  second.manifest = manifest;
+  for (uint32_t s = 0; s < manifest->num_shards(); ++s) {
+    second.shards.push_back(std::make_shared<SnapshotRegistry>());
+  }
+  ASSERT_TRUE(coord.AdoptEpoch(std::move(second)).ok());
+
+  EXPECT_TRUE(deleter_ran.load())
+      << "the adopt must have dropped the last reference to the old epoch";
+  EXPECT_TRUE(status_ok_in_deleter.load())
+      << "status() must be reachable while the retired epoch tears down";
+}
+
 // ------------------------------------------- republish + rebalance
 
 TEST(ShardedServing, ShardLocalRepublishKeepsAnswersInvariant) {

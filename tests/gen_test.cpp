@@ -17,7 +17,9 @@ void ExpectSimple(const Graph& g) {
   for (const Edge& e : g.Edges()) {
     EXPECT_LT(e.first, e.second);
     EXPECT_LT(e.second, g.num_nodes());
-    if (!first) EXPECT_LT(prev, e);
+    if (!first) {
+      EXPECT_LT(prev, e);
+    }
     prev = e;
     first = false;
   }

@@ -9,6 +9,7 @@
 #include "graph/graph.hpp"
 #include "graph/graph_io.hpp"
 #include "gen/generators.hpp"
+#include "util/varint.hpp"
 
 namespace slugger::graph {
 namespace {
@@ -130,6 +131,28 @@ TEST(GraphIo, BinaryRejectsBadMagic) {
   }
   auto loaded = LoadBinary(path);
   ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryRejectsEdgeCountLargerThanFile) {
+  // Regression test: a hostile header claiming ~2^60 edges used to reach
+  // edges.reserve(m) before any edge was parsed — a multi-exabyte
+  // allocation request from a 20-byte file. The count must be rejected
+  // against the remaining file size (two bytes minimum per edge) first.
+  std::string buf;
+  PutVarint64(&buf, 0x534C47477246ull);  // kBinaryMagic ("SLGGrF")
+  PutVarint64(&buf, 100);                // n
+  PutVarint64(&buf, 1ull << 60);         // m: absurd for a tiny file
+  PutVarint64(&buf, 1);                  // a lone half-edge of payload
+  std::string path = TempPath("slugger_io_hugecount.sg");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  auto loaded = LoadBinary(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption)
+      << loaded.status().ToString();
   std::remove(path.c_str());
 }
 

@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/dynamic_graph.hpp"
@@ -375,6 +377,106 @@ TEST(PagedStorage, ExplicitMaterializeIsIdempotent) {
   EXPECT_FALSE(paged.value().paged());
   EXPECT_EQ(copy.summary().num_leaves(), mem.num_nodes());
   ExpectAgreement(mem, copy);
+}
+
+// ------------------------------------------------------ concurrent churn
+// These run under ThreadSanitizer in CI (gtest_filter=PagedChurn.*): the
+// pread frame cache is the one storage path with a real lock, and a tiny
+// residency cap under concurrent readers keeps it constantly evicting —
+// the access pattern most likely to expose a race in Fetch/Unpin or the
+// record cache shards.
+
+TEST(PagedChurn, ConcurrentReadersChurnTinyPreadCache) {
+  graph::Graph g = gen::ErdosRenyi(500, 3000, 71);
+  CompressedGraph mem = Summarize(g, 71);
+  const std::string path = TempPath("churn.slg2");
+  storage::SaveOptions save;
+  save.page_size = 512;
+  ASSERT_TRUE(storage::Save(mem, path, save).ok());
+
+  storage::OpenOptions options;
+  options.buffer.io = storage::Io::kPread;
+  // Small enough to churn, big enough that four concurrent ancestor-chain
+  // pin sets cannot exhaust the frames (exhaustion is an Aborted that
+  // degrades to an empty answer — a different contract than this test).
+  options.buffer.max_resident_pages = 16;
+  StatusOr<CompressedGraph> paged = storage::Open(path, options);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  auto source = paged.value().paged_source();
+  ASSERT_EQ(source->backend(), storage::Io::kPread);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 400;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(100 + t);
+      QueryScratch scratch;
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const NodeId v = rng() % mem.num_nodes();
+        std::vector<NodeId> got = paged.value().Neighbors(v, &scratch);
+        QueryScratch mem_scratch;
+        std::vector<NodeId> want = mem.Neighbors(v, &mem_scratch);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        if (got != want) failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Stats polling races the readers by design — the accessors must stay
+  // safe (and the residency bound must hold) mid-churn.
+  for (int i = 0; i < 200; ++i) {
+    const storage::BufferStats stats = source->buffer_stats();
+    EXPECT_LE(stats.resident_pages, 16u);
+  }
+  for (std::thread& th : readers) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(source->buffer_stats().evictions, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PagedChurn, MaterializeRacesPagedReaders) {
+  graph::Graph g = gen::ErdosRenyi(400, 2400, 73);
+  CompressedGraph mem = Summarize(g, 73);
+  const std::string path = TempPath("churn_mat.slg2");
+  storage::SaveOptions save;
+  save.page_size = 512;
+  ASSERT_TRUE(storage::Save(mem, path, save).ok());
+
+  storage::OpenOptions options;
+  options.buffer.io = storage::Io::kPread;
+  options.buffer.max_resident_pages = 6;
+  StatusOr<CompressedGraph> paged = storage::Open(path, options);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+  // Readers start on the paged path; Materialize swings the handle to
+  // the in-memory summary mid-flight. Answers must agree regardless of
+  // which side of the swap each query lands on.
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937 rng(200 + t);
+      QueryScratch scratch;
+      for (int i = 0; i < 300; ++i) {
+        const NodeId v = rng() % mem.num_nodes();
+        std::vector<NodeId> got = paged.value().Neighbors(v, &scratch);
+        QueryScratch mem_scratch;
+        std::vector<NodeId> want = mem.Neighbors(v, &mem_scratch);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        if (got != want) failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  EXPECT_TRUE(paged.value().Materialize().ok());
+  for (std::thread& th : readers) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(paged.value().paged());
+  ExpectAgreement(mem, paged.value());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -464,7 +464,9 @@ TEST(Stream, ConcurrentReadersDuringCompactionChurn) {
         std::sort(nbrs.begin(), nbrs.end());
         for (size_t i = 0; i < nbrs.size(); ++i) {
           ASSERT_LT(nbrs[i], g.num_nodes());
-          if (i > 0) ASSERT_NE(nbrs[i], nbrs[i - 1]) << "duplicate neighbor";
+          if (i > 0) {
+            ASSERT_NE(nbrs[i], nbrs[i - 1]) << "duplicate neighbor";
+          }
           ASSERT_NE(nbrs[i], u) << "self-loop served";
         }
         for (NodeId& v : batch) {

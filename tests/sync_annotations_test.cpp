@@ -1,0 +1,206 @@
+// Negative-compile coverage of util/sync.hpp's thread-safety annotations.
+//
+// The annotations only pay for themselves if Clang actually rejects the
+// bug patterns they exist to catch, and nothing in a normal build proves
+// that: a stripped macro expands to nothing and everything still
+// compiles. So this test re-invokes the compiler the suite was built
+// with on small known-bad programs and asserts that -fsyntax-only
+// -Wthread-safety -Werror FAILS them — and, as a control, PASSES the
+// corrected versions of the same programs (guarding against the macros
+// being broken in a way that rejects everything).
+//
+// On non-Clang compilers the annotations compile away, so every case
+// would "pass" vacuously; the whole suite GTEST_SKIPs there and the
+// clang CI legs carry the real signal.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef SLUGGER_TEST_CXX_COMPILER
+#define SLUGGER_TEST_CXX_COMPILER ""
+#endif
+#ifndef SLUGGER_TEST_SOURCE_DIR
+#define SLUGGER_TEST_SOURCE_DIR "."
+#endif
+
+bool CompilerIsClang() {
+#if defined(__clang__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Writes `body` (appended to a common prelude that includes sync.hpp)
+/// to a temp file and syntax-checks it under -Wthread-safety -Werror.
+/// Returns the compiler's exit status (0 = accepted).
+int Compile(const std::string& body, const std::string& tag) {
+  const std::string dir = ::testing::TempDir();
+  const std::string src = dir + "/sync_neg_" + tag + ".cpp";
+  {
+    std::ofstream out(src);
+    out << "#include \"util/sync.hpp\"\n"
+        << "using namespace slugger;\n"
+        << body << "\n";
+  }
+  const std::string cmd = std::string(SLUGGER_TEST_CXX_COMPILER) +
+                          " -std=c++20 -fsyntax-only -Wthread-safety"
+                          " -Werror -I" SLUGGER_TEST_SOURCE_DIR "/src " +
+                          src + " 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  std::remove(src.c_str());
+  return rc;
+}
+
+class SyncAnnotationsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CompilerIsClang()) {
+      GTEST_SKIP() << "thread-safety analysis needs clang; the macros "
+                      "compile away here";
+    }
+    ASSERT_STRNE(SLUGGER_TEST_CXX_COMPILER, "")
+        << "CMake did not pass the compiler path";
+  }
+};
+
+TEST_F(SyncAnnotationsTest, GuardedMemberWithoutLockIsRejected) {
+  const std::string bad = R"(
+    struct Counter {
+      Mutex mu;
+      int n SLUGGER_GUARDED_BY(mu) = 0;
+      void Bump() { n++; }  // no lock: must not compile
+    };
+  )";
+  const std::string good = R"(
+    struct Counter {
+      Mutex mu;
+      int n SLUGGER_GUARDED_BY(mu) = 0;
+      void Bump() { MutexLock lock(&mu); n++; }
+    };
+  )";
+  EXPECT_NE(Compile(bad, "guard_bad"), 0);
+  EXPECT_EQ(Compile(good, "guard_good"), 0);
+}
+
+TEST_F(SyncAnnotationsTest, ForgettingToUnlockIsRejected) {
+  const std::string bad = R"(
+    struct Leaky {
+      Mutex mu;
+      void Oops() { mu.Lock(); }  // never unlocked: must not compile
+    };
+  )";
+  const std::string good = R"(
+    struct Balanced {
+      Mutex mu;
+      void Fine() { mu.Lock(); mu.Unlock(); }
+    };
+  )";
+  EXPECT_NE(Compile(bad, "leak_bad"), 0);
+  EXPECT_EQ(Compile(good, "leak_good"), 0);
+}
+
+TEST_F(SyncAnnotationsTest, CallingRequiresNotHeldWhileHoldingIsRejected) {
+  // The retire-outside-lock contract (SnapshotRegistry::Publish,
+  // Coordinator::AdoptEpoch): REQUIRES(!mu) must reject callers that
+  // already hold mu.
+  const std::string bad = R"(
+    struct Registry {
+      Mutex mu;
+      void Publish() SLUGGER_REQUIRES(!mu);
+      void Reentrant() { MutexLock lock(&mu); Publish(); }
+    };
+  )";
+  const std::string good = R"(
+    struct Registry {
+      Mutex mu;
+      void Publish() SLUGGER_REQUIRES(!mu);
+      void Caller() { Publish(); }
+    };
+  )";
+  EXPECT_NE(Compile(bad, "neg_bad"), 0);
+  EXPECT_EQ(Compile(good, "neg_good"), 0);
+}
+
+TEST_F(SyncAnnotationsTest, ReaderLockDoesNotSatisfyExclusiveWrite) {
+  const std::string bad = R"(
+    struct Table {
+      SharedMutex mu;
+      int n SLUGGER_GUARDED_BY(mu) = 0;
+      void Write() { ReaderLock lock(&mu); n = 1; }  // shared != exclusive
+    };
+  )";
+  const std::string good = R"(
+    struct Table {
+      SharedMutex mu;
+      int n SLUGGER_GUARDED_BY(mu) = 0;
+      void Write() { WriterLock lock(&mu); n = 1; }
+      int Read() { ReaderLock lock(&mu); return n; }
+    };
+  )";
+  EXPECT_NE(Compile(bad, "shared_bad"), 0);
+  EXPECT_EQ(Compile(good, "shared_good"), 0);
+}
+
+TEST_F(SyncAnnotationsTest, LambdaDoesNotInheritCallerLockSet) {
+  // The convention sync.hpp documents: a lambda body is analyzed as its
+  // own function with an empty lock set, so touching a guarded member
+  // from one is rejected even when every call site holds the lock.
+  const std::string bad = R"(
+    template <typename F> void Call(F f) { f(); }
+    struct Job {
+      Mutex mu;
+      int n SLUGGER_GUARDED_BY(mu) = 0;
+      void Run() {
+        MutexLock lock(&mu);
+        Call([this] { n++; });  // empty lock set inside: must not compile
+      }
+    };
+  )";
+  const std::string good = R"(
+    template <typename F> void Call(F f) { f(); }
+    struct Job {
+      Mutex mu;
+      int n SLUGGER_GUARDED_BY(mu) = 0;
+      void Run() {
+        MutexLock lock(&mu);
+        int* hoisted = &n;  // pointer hoisted while mu is held
+        Call([hoisted] { (*hoisted)++; });
+      }
+    };
+  )";
+  EXPECT_NE(Compile(bad, "lambda_bad"), 0);
+  EXPECT_EQ(Compile(good, "lambda_good"), 0);
+}
+
+TEST_F(SyncAnnotationsTest, CondVarWaitRequiresTheMutex) {
+  const std::string bad = R"(
+    struct Waiter {
+      Mutex mu;
+      CondVar cv;
+      void WaitNoLock() { cv.Wait(mu); }  // mu not held: must not compile
+    };
+  )";
+  const std::string good = R"(
+    struct Waiter {
+      Mutex mu;
+      CondVar cv;
+      bool ready SLUGGER_GUARDED_BY(mu) = false;
+      void WaitLocked() {
+        MutexLock lock(&mu);
+        while (!ready) cv.Wait(mu);
+      }
+    };
+  )";
+  EXPECT_NE(Compile(bad, "cv_bad"), 0);
+  EXPECT_EQ(Compile(good, "cv_good"), 0);
+}
+
+}  // namespace

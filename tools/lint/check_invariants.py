@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: cheap, dependency-free checks for rules the
+compiler cannot express, run in CI after the build (see .github/workflows).
+
+Rules
+  raw-sync        std::mutex / std::shared_mutex / std::condition_variable
+                  and their lock wrappers appear ONLY in src/util/sync.hpp.
+                  Everything else must use the annotated slugger::Mutex /
+                  MutexLock family so Clang thread-safety analysis sees
+                  every acquisition.
+  naked-new       No `new` / `delete` expressions outside src/util/ —
+                  ownership lives in containers and smart pointers.
+  unbounded-alloc A count decoded from untrusted bytes (reader.Get(&n),
+                  varint reads) must be bounds-checked before it sizes an
+                  allocation (vector(n) / resize(n) / reserve(n) /
+                  make_unique<T[]>(n)) in the same function.
+  manual-parse    Benches and examples parse CLI numbers through
+                  util/parse.hpp (ParseUint32/ParseUint64), never the
+                  silently-zero atoi family.
+
+A finding can be waived with a same-line or previous-line marker naming
+the rule and a reason, e.g.
+    auto mgr = std::unique_ptr<B>(new B());  // lint:allow(naked-new: private ctor)
+Unknown rule names in markers are themselves errors, so waivers cannot
+rot silently.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+CPP_EXTS = (".cpp", ".hpp", ".cc", ".h")
+KNOWN_RULES = {"raw-sync", "naked-new", "unbounded-alloc", "manual-parse"}
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)(?::[^)]*)?\)")
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable"
+    r"(_any)?|lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+
+NAKED_NEW_RE = re.compile(r"\bnew\b\s*[A-Za-z_:(<]|\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_:(*]")
+
+DECODE_RE = re.compile(r"\bGet(?:Varint)?\s*\(\s*&\s*([A-Za-z_]\w*)\s*\)")
+
+ALLOC_RES = [
+    re.compile(r"\.\s*(?:resize|reserve)\s*\(\s*([A-Za-z_]\w*)\s*[),]"),
+    re.compile(r"\bstd::vector\s*<[^;=]*>\s+\w+\s*\(\s*([A-Za-z_]\w*)\s*[),]"),
+    re.compile(r"\bmake_unique\s*<[^;=]*\[\]\s*>\s*\(\s*([A-Za-z_]\w*)\s*\)"),
+]
+
+PARSE_RE = re.compile(
+    r"\b(atoi|atol|atoll|atof|strtol|strtoul|strtoll|strtoull"
+    r"|std::sto(i|l|ll|ul|ull|f|d))\s*\("
+)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so the regexes above only see code. lint:allow markers are
+    read from the RAW lines instead."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            elif c == "\n":  # unterminated (raw string etc.): bail per line
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def rel(path):
+    return os.path.relpath(path, REPO)
+
+
+def cpp_files(*top_dirs):
+    for top in top_dirs:
+        root = os.path.join(REPO, top)
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith(CPP_EXTS):
+                    yield os.path.join(dirpath, name)
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def report(self, rule, path, lineno, message, raw_lines):
+        # A marker on the finding line or the line above waives it.
+        for probe in (lineno - 1, lineno - 2):
+            if 0 <= probe < len(raw_lines):
+                m = ALLOW_RE.search(raw_lines[probe])
+                if m:
+                    if m.group(1) not in KNOWN_RULES:
+                        self.findings.append(
+                            (path, probe + 1,
+                             f"unknown rule '{m.group(1)}' in lint:allow marker"))
+                    elif m.group(1) == rule:
+                        return
+        self.findings.append((path, lineno, f"[{rule}] {message}"))
+
+    def check_raw_sync(self, path, code_lines, raw_lines):
+        if rel(path) == os.path.join("src", "util", "sync.hpp"):
+            return
+        for idx, line in enumerate(code_lines):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                self.report(
+                    "raw-sync", path, idx + 1,
+                    f"'{m.group(0).strip()}' outside util/sync.hpp — use the "
+                    "annotated slugger::Mutex / MutexLock family",
+                    raw_lines)
+
+    def check_naked_new(self, path, code_lines, raw_lines):
+        if rel(path).startswith(os.path.join("src", "util") + os.sep):
+            return
+        for idx, line in enumerate(code_lines):
+            if "= delete" in line or "delete;" in line:
+                line = line.replace("= delete", "").replace("delete;", "")
+            m = NAKED_NEW_RE.search(line)
+            if m:
+                self.report(
+                    "naked-new", path, idx + 1,
+                    f"'{m.group(0).strip()}' — own memory with containers or "
+                    "smart pointers (or mark an intentional leak/singleton)",
+                    raw_lines)
+
+    def check_unbounded_alloc(self, path, code_lines, raw_lines):
+        # Per decoded variable: every later allocation sized by it needs a
+        # comparison against it somewhere in between (the bounds check).
+        decoded = {}  # name -> line index of the decode
+        compare_res = {}
+        for idx, line in enumerate(code_lines):
+            for m in DECODE_RE.finditer(line):
+                name = m.group(1)
+                decoded[name] = idx
+                compare_res[name] = re.compile(
+                    rf"\b{re.escape(name)}\b\s*(==|!=|<=|>=|<|>)"
+                    rf"|(==|!=|<=|>=|<|>)\s*\b{re.escape(name)}\b")
+            for alloc_re in ALLOC_RES:
+                for m in alloc_re.finditer(line):
+                    name = m.group(1)
+                    if name not in decoded:
+                        continue
+                    start = decoded[name]
+                    window = code_lines[start:idx + 1]
+                    if any(compare_res[name].search(l) for l in window):
+                        continue
+                    self.report(
+                        "unbounded-alloc", path, idx + 1,
+                        f"allocation sized by decoded count '{name}' with no "
+                        "bounds check between the decode "
+                        f"(line {start + 1}) and here",
+                        raw_lines)
+
+    def check_manual_parse(self, path, code_lines, raw_lines):
+        for idx, line in enumerate(code_lines):
+            m = PARSE_RE.search(line)
+            if m:
+                self.report(
+                    "manual-parse", path, idx + 1,
+                    f"'{m.group(1)}' — parse CLI numbers with util/parse.hpp "
+                    "(ParseUint32/ParseUint64), which rejects garbage instead "
+                    "of returning 0",
+                    raw_lines)
+
+    def run(self):
+        sync_scope = list(cpp_files("src", "tests", "bench", "examples", "tools"))
+        src_scope = list(cpp_files("src"))
+        cli_scope = list(cpp_files("bench", "examples"))
+
+        for path in sync_scope:
+            raw = open(path, encoding="utf-8", errors="replace").read()
+            raw_lines = raw.splitlines()
+            code_lines = strip_comments_and_strings(raw).splitlines()
+            self.check_raw_sync(path, code_lines, raw_lines)
+            if path in src_scope:
+                self.check_naked_new(path, code_lines, raw_lines)
+                self.check_unbounded_alloc(path, code_lines, raw_lines)
+            if path in cli_scope:
+                self.check_manual_parse(path, code_lines, raw_lines)
+        return self.findings
+
+
+def main():
+    if len(sys.argv) > 1:
+        print(__doc__)
+        return 2
+    findings = Linter().run()
+    for path, lineno, message in findings:
+        print(f"{rel(path)}:{lineno}: {message}")
+    if findings:
+        print(f"\ncheck_invariants: {len(findings)} finding(s)")
+        return 1
+    print("check_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
