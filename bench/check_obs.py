@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""CI gate for the observability layer (ISSUE 10).
+
+Compares the two bench_obs runs CI produces — the normal instrumented
+build (BENCH_obs.json) and the -DSLUGGER_OBS=OFF stripped build
+(BENCH_obs_off.json) — and fails when instrumentation costs more than
+--max-overhead (default 5%) on the warm batch-query path. The single-
+query overhead is printed for the record but not gated: it is sampled
+1-in-64 and sits inside timing noise by construction.
+
+Also verifies the end-to-end wiring: the Prometheus dump the
+instrumented run wrote (BENCH_obs.prom) must contain at least one
+metric family from EVERY instrumented layer — engine, query path,
+paged storage/buffer manager, dynamic graph, snapshot registry, and
+the sharded coordinator. A refactor that silently drops one layer's
+instrumentation fails here, not in production.
+
+Usage:
+    check_obs.py [BENCH_obs.json] [BENCH_obs_off.json]
+        [--prom BENCH_obs.prom] [--max-overhead F]
+        [--min-loop-seconds S]
+
+Exit codes: 0 pass, 1 regression, 2 bad input. When the stripped
+build's batch loop ran shorter than --min-loop-seconds in total, the
+overhead gate passes with a notice instead of judging noise-dominated
+timings (the wiring assertions still apply).
+"""
+
+import argparse
+import json
+import sys
+
+# One required metric-name prefix per instrumented layer. bench_obs
+# exercises all of them before dumping, so every prefix must appear.
+LAYER_PREFIXES = {
+    "engine": "slugger_engine_",
+    "query path": "slugger_query_",
+    "buffer manager": "slugger_buffer_",
+    "paged storage": "slugger_paged_",
+    "dynamic graph": "slugger_dynamic_",
+    "snapshot registry": "slugger_snapshot_",
+    "coordinator": "slugger_coord_",
+}
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("on_report", nargs="?", default="BENCH_obs.json")
+    parser.add_argument("off_report", nargs="?", default="BENCH_obs_off.json")
+    parser.add_argument("--prom", default="BENCH_obs.prom",
+                        help="Prometheus dump from the instrumented run")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="max fractional slowdown of the instrumented "
+                             "warm batch path vs the stripped build")
+    parser.add_argument("--min-loop-seconds", type=float, default=0.2,
+                        help="skip the overhead gate when the stripped "
+                             "batch loop totalled less than this")
+    args = parser.parse_args()
+
+    try:
+        on = load(args.on_report)
+        off = load(args.off_report)
+        with open(args.prom, encoding="utf-8") as f:
+            prom = f.read()
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read inputs: {err}", file=sys.stderr)
+        return 2
+
+    if not on.get("obs_enabled") or off.get("obs_enabled"):
+        print(f"error: expected {args.on_report} from an instrumented build "
+              f"and {args.off_report} from a SLUGGER_OBS=OFF build",
+              file=sys.stderr)
+        return 2
+    for report, name in ((on, args.on_report), (off, args.off_report)):
+        missing = [k for k in ("batch_qps", "single_qps", "checksum",
+                               "batch_total_seconds") if k not in report]
+        if missing:
+            print(f"error: {name} is missing {missing}", file=sys.stderr)
+            return 2
+
+    failures = []
+
+    # Same workload, same answers: a checksum mismatch means the two
+    # builds did not run comparable work, so the comparison is void.
+    if on["checksum"] != off["checksum"]:
+        failures.append(
+            f"checksum mismatch between builds ({on['checksum']} vs "
+            f"{off['checksum']}): runs are not comparable")
+
+    single_overhead = (off["single_qps"] - on["single_qps"]) / off["single_qps"]
+    print(f"single query: stripped {off['single_qps']:.0f} q/s, "
+          f"instrumented {on['single_qps']:.0f} q/s "
+          f"({single_overhead * 100:+.1f}% overhead, not gated)")
+
+    overhead = (off["batch_qps"] - on["batch_qps"]) / off["batch_qps"]
+    print(f"batch query:  stripped {off['batch_qps']:.0f} q/s, "
+          f"instrumented {on['batch_qps']:.0f} q/s "
+          f"({overhead * 100:+.1f}% overhead, "
+          f"gate <= {args.max_overhead * 100:.0f}%)")
+    if off["batch_total_seconds"] < args.min_loop_seconds:
+        print(f"notice: stripped batch loop totalled only "
+              f"{off['batch_total_seconds']:.3f}s "
+              f"(< {args.min_loop_seconds:.1f}s); overhead gate skipped as "
+              f"noise-dominated")
+    elif overhead > args.max_overhead:
+        failures.append(
+            f"instrumented warm batch path {overhead * 100:.1f}% slower "
+            f"than stripped (limit {args.max_overhead * 100:.0f}%)")
+
+    # Wiring: every layer must show up in the instrumented dump.
+    for layer, prefix in LAYER_PREFIXES.items():
+        if prefix not in prom:
+            failures.append(
+                f"{args.prom} has no '{prefix}*' metric: the {layer} "
+                f"layer lost its instrumentation")
+    print(f"prometheus dump: {len(prom)} bytes, "
+          f"{sum(1 for line in prom.splitlines() if line.startswith('# TYPE'))}"
+          f" metric families")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("observability gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@
 #include "api/engine.hpp"
 #include "api/snapshot_registry.hpp"
 #include "gen/generators.hpp"
+#include "obs/export.hpp"
 #include "storage/storage.hpp"
 #include "util/parse.hpp"
 #include "util/random.hpp"
@@ -97,6 +98,19 @@ int main(int argc, char** argv) {
               registry.Current()->paged() ? "serving paged from disk"
                                           : "in-memory");
 
+  // Metrics: while serving, periodically dump the process-wide registry
+  // in Prometheus text format — the payload a real server's /metrics
+  // endpoint would return. Stop() emits one final dump, so even a short
+  // run prints the engine/query/buffer/snapshot counters it produced.
+  // (With -DSLUGGER_OBS=OFF the registry is empty and dumps are blank.)
+  obs::PeriodicDumper metrics_dumper(
+      [](const std::string& text) {
+        std::printf("--- metrics dump (%zu bytes) ---\n%s--- end metrics ---\n",
+                    text.size(), text.c_str());
+      },
+      /*interval_seconds=*/1.0);
+  metrics_dumper.Start();
+
   // Readers: grab the current snapshot once per batch, serve a batch of
   // random nodes from it, and spot-check one answer against the raw
   // graph — correct under every swap because each snapshot is lossless.
@@ -161,6 +175,9 @@ int main(int argc, char** argv) {
 
   stop.store(true);
   for (std::thread& t : readers) t.join();
+  metrics_dumper.Stop();
+  std::printf("emitted %llu metrics dumps while serving\n",
+              static_cast<unsigned long long>(metrics_dumper.dumps()));
 
   std::printf(
       "served %llu queries in %llu batches across %u readers and %llu "

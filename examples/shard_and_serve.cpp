@@ -24,6 +24,7 @@
 #include "dist/coordinator.hpp"
 #include "gen/generators.hpp"
 #include "graph/partition_stream.hpp"
+#include "obs/export.hpp"
 #include "util/parse.hpp"
 #include "util/random.hpp"
 #include "util/timer.hpp"
@@ -51,6 +52,19 @@ int main(int argc, char** argv) {
   std::printf("serving graph: %u nodes, %llu edges, %u shards\n",
               g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
               num_shards);
+
+  // Metrics: dump the process-wide registry as Prometheus text while
+  // the walkthrough serves — shard builds, coordinator batches, and
+  // snapshot publishes all land in it. The final dump at Stop() is
+  // what a real deployment's /metrics endpoint would be scraped for.
+  // (With -DSLUGGER_OBS=OFF the registry is empty and dumps are blank.)
+  obs::PeriodicDumper metrics_dumper(
+      [](const std::string& text) {
+        std::printf("--- metrics dump (%zu bytes) ---\n%s--- end metrics ---\n",
+                    text.size(), text.c_str());
+      },
+      /*interval_seconds=*/1.0);
+  metrics_dumper.Start();
 
   // Build: partition + per-shard summarize + publish, one call.
   ShardedOptions options;
@@ -161,6 +175,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "strict coordinator served a missing shard\n");
     return 1;
   }
+  metrics_dumper.Stop();
+  std::printf("emitted %llu metrics dumps while serving\n",
+              static_cast<unsigned long long>(metrics_dumper.dumps()));
   std::printf("done\n");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "algs/summary_ops.hpp"
+#include "obs/metrics.hpp"
 #include "storage/paged_source.hpp"
 #include "storage/storage.hpp"
 #include "summary/decode.hpp"
@@ -18,6 +19,42 @@
 namespace slugger {
 
 namespace {
+
+// Serving-path metrics. Counters are always-on (one relaxed add); the
+// single-query latency histogram is sampled 1-in-64 so the two clock
+// reads amortize to ~nothing against the ~3M q/s hot path.
+struct QueryObs {
+  obs::Counter* single = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_single_total", "single Neighbors/Degree calls");
+  obs::Counter* batches = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_batch_total", "NeighborsBatch/DegreeBatch calls");
+  obs::Counter* batch_nodes = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_batch_nodes_total", "nodes answered by batch calls");
+  obs::Counter* errors = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_errors_total",
+      "paged-backend query failures (absorbed or surfaced)");
+  obs::Counter* paged = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_paged_total", "queries served by the paged backend");
+  obs::Histogram* single_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "slugger_query_single_seconds", obs::HistogramOptions{1e-7, 2.0, 24},
+      "single-query latency, sampled 1-in-64");
+  obs::Histogram* batch_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "slugger_query_batch_seconds", obs::HistogramOptions{1e-6, 2.0, 24},
+      "whole-batch latency");
+};
+
+const QueryObs& Obs() {
+  static QueryObs handles;
+  return handles;
+}
+
+/// The single-query latency histogram every 64th call on this thread,
+/// null otherwise (a null ScopedTimer never touches the clock).
+obs::Histogram* SampledSingleHistogram() {
+  if constexpr (!obs::kEnabled) return nullptr;
+  thread_local uint32_t tick = 0;
+  return ((++tick & 63u) == 0) ? Obs().single_seconds : nullptr;
+}
 
 /// Backing store of the scratch-free query overloads. One scratch per
 /// thread serves every CompressedGraph: the coverage counters are all
@@ -97,6 +134,7 @@ struct CompressedGraph::PagedBox {
 
   void RecordError(const Status& failed) SLUGGER_REQUIRES(!err_mu) {
     query_errors.fetch_add(1, std::memory_order_relaxed);
+    Obs().errors->Add(1);  // process-wide mirror of the per-instance count
     MutexLock lock(&err_mu);
     last_error = failed;
   }
@@ -196,6 +234,8 @@ const std::vector<NodeId>& CompressedGraph::Neighbors(
 const std::vector<NodeId>& CompressedGraph::Neighbors(
     NodeId v, QueryScratch* scratch,
     std::span<const NeighborOverride> overrides) const {
+  Obs().single->Add(1);
+  obs::ScopedTimer obs_timer(SampledSingleHistogram());
   if (v >= num_nodes_) {
     // The core query path asserts v is in range (walking ForEachEdgeOf on
     // an arbitrary id is undefined behavior); the facade absorbs hostile
@@ -207,6 +247,7 @@ const std::vector<NodeId>& CompressedGraph::Neighbors(
     // This overload has no error channel, so a paged I/O or corruption
     // failure degrades to an empty list; query_errors()/last_status()
     // record it and the batch APIs surface it.
+    Obs().paged->Add(1);
     Status served = box_->source->Neighbors(v, scratch, overrides);
     if (!served.ok()) {
       box_->RecordError(served);
@@ -228,8 +269,11 @@ size_t CompressedGraph::Degree(NodeId v, QueryScratch* scratch) const {
 size_t CompressedGraph::Degree(
     NodeId v, QueryScratch* scratch,
     std::span<const NeighborOverride> overrides) const {
+  Obs().single->Add(1);
+  obs::ScopedTimer obs_timer(SampledSingleHistogram());
   if (v >= num_nodes_) return 0;
   if (ServePaged()) {
+    Obs().paged->Add(1);
     StatusOr<uint64_t> degree = box_->source->Degree(v, scratch, overrides);
     if (!degree.ok()) {
       box_->RecordError(degree.status());
@@ -261,7 +305,12 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
                                        BatchScratch* scratch) const {
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
+  const QueryObs& o = Obs();
+  o.batches->Add(1);
+  o.batch_nodes->Add(nodes.size());
+  obs::ScopedTimer obs_timer(o.batch_seconds);
   if (ServePaged()) {
+    o.paged->Add(1);
     Status served = box_->source->NeighborsBatch(nodes, out, scratch);
     if (!served.ok()) box_->RecordError(served);
     return served;
@@ -288,6 +337,10 @@ Status CompressedGraph::NeighborsBatch(std::span<const NodeId> nodes,
   }
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
+  const QueryObs& o = Obs();
+  o.batches->Add(1);
+  o.batch_nodes->Add(nodes.size());
+  obs::ScopedTimer obs_timer(o.batch_seconds);
 
   // Sort the whole batch by hierarchy locality once, then hand each
   // worker a contiguous slice of the sorted order: shards keep the
@@ -348,7 +401,12 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
                                     BatchScratch* scratch) const {
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
+  const QueryObs& o = Obs();
+  o.batches->Add(1);
+  o.batch_nodes->Add(nodes.size());
+  obs::ScopedTimer obs_timer(o.batch_seconds);
   if (ServePaged()) {
+    o.paged->Add(1);
     Status served = box_->source->DegreeBatch(nodes, degrees, scratch);
     if (!served.ok()) box_->RecordError(served);
     return served;
@@ -372,6 +430,10 @@ Status CompressedGraph::DegreeBatch(std::span<const NodeId> nodes,
   }
   Status valid = ValidateBatch(nodes);
   if (!valid.ok()) return valid;
+  const QueryObs& o = Obs();
+  o.batches->Add(1);
+  o.batch_nodes->Add(nodes.size());
+  obs::ScopedTimer obs_timer(o.batch_seconds);
 
   const summary::SummaryGraph& active = ActiveSummary();
   const std::vector<uint32_t>& leaf_rank = ActiveLeafRank();

@@ -5,13 +5,60 @@
 #include <utility>
 
 #include "algs/summary_ops.hpp"
+#include "obs/metrics.hpp"
 #include "summary/neighbor_query.hpp"
+#include "util/timer.hpp"
 
 namespace slugger {
 
 namespace {
 
 using stream::NeighborOverride;
+
+// Edit-stream and compaction metrics, summed across every DynamicGraph
+// in the process (per-instance exact counts stay on stats()).
+struct DynamicObs {
+  obs::Counter* edits_applied = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_dynamic_edits_applied_total",
+      "edge edits that changed the represented graph");
+  obs::Counter* edits_redundant = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_dynamic_edits_redundant_total",
+      "edge edits that were already satisfied");
+  obs::Counter* compactions_fold = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_dynamic_compactions_fold_total",
+      "compactions resolved by localized leaf-pair folding");
+  obs::Counter* compactions_rebuild =
+      obs::MetricsRegistry::Global().GetCounter(
+          "slugger_dynamic_compactions_rebuild_total",
+          "compactions resolved by full re-summarization");
+  obs::Counter* compactions_failed = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_dynamic_compactions_failed_total",
+      "compactions that returned an error");
+  obs::Histogram* apply_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "slugger_dynamic_apply_seconds", obs::HistogramOptions{1e-6, 2.0, 24},
+      "ApplyEdits call latency (whole batch of edits)");
+  obs::Histogram* fold_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "slugger_dynamic_compaction_fold_seconds",
+      obs::HistogramOptions{1e-4, 2.0, 24}, "fold compaction duration");
+  obs::Histogram* rebuild_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "slugger_dynamic_compaction_rebuild_seconds",
+          obs::HistogramOptions{1e-4, 2.0, 24},
+          "rebuild compaction duration");
+  // Overlay shape of the most recently mutated DynamicGraph: how far the
+  // live graph has drifted from its compacted base.
+  obs::Gauge* overlay_corrections = obs::MetricsRegistry::Global().GetGauge(
+      "slugger_dynamic_overlay_corrections",
+      "live overlay corrections after the last edit batch");
+  obs::Gauge* overlay_ratio_ppm = obs::MetricsRegistry::Global().GetGauge(
+      "slugger_dynamic_overlay_ratio_ppm",
+      "overlay corrections per million base-cost units");
+};
+
+const DynamicObs& Obs() {
+  static DynamicObs handles;
+  return handles;
+}
 
 /// Thread-local backing of the scratch-free overloads, mirroring the
 /// CompressedGraph facade: one scratch per thread serves every
@@ -97,6 +144,7 @@ Status DynamicGraph::ApplyEdits(std::span<const EdgeEdit> edits) {
   Status valid = ValidateEdits(edits);
   if (!valid.ok()) return valid;
   if (edits.empty()) return Status::OK();
+  obs::ScopedTimer obs_timer(Obs().apply_seconds);
 
   std::shared_ptr<const State> cur = CurrentState();
   const CompressedGraph& base = *cur->base;
@@ -118,6 +166,15 @@ Status DynamicGraph::ApplyEdits(std::span<const EdgeEdit> edits) {
   }
   edits_applied_.fetch_add(applied, std::memory_order_relaxed);
   edits_redundant_.fetch_add(redundant, std::memory_order_relaxed);
+  Obs().edits_applied->Add(applied);
+  Obs().edits_redundant->Add(redundant);
+  Obs().overlay_corrections->Set(
+      static_cast<int64_t>(next->correction_count()));
+  const uint64_t base_cost = cur->base->stats().cost;
+  if (base_cost != 0) {
+    Obs().overlay_ratio_ppm->Set(static_cast<int64_t>(
+        next->correction_count() * 1000000 / base_cost));
+  }
 
   if (compaction_running_.load(std::memory_order_acquire)) {
     // The in-flight compaction snapshotted an older overlay; log these
@@ -257,14 +314,17 @@ void DynamicGraph::StartBackgroundCompaction(
 
 Status DynamicGraph::RunCompaction(std::shared_ptr<const State> snapshot) {
   stream::CompactionStats cstats;
+  WallTimer compact_timer;  // which histogram gets it depends on cstats.kind
   StatusOr<CompressedGraph> result = compactor_.Compact(
       *snapshot->base, *snapshot->overlay, &cancel_, &cstats);
+  const double compact_seconds = compact_timer.Seconds();
 
   MutexLock lock(&write_mu_);
   Status status = result.ok() ? Status::OK() : result.status();
   last_compaction_error_ = status;
   if (!result.ok()) {
     compactions_failed_.fetch_add(1, std::memory_order_relaxed);
+    Obs().compactions_failed->Add(1);
   }
   if (result.ok()) {
     SnapshotRegistry::Snapshot new_base =
@@ -286,6 +346,13 @@ Status DynamicGraph::RunCompaction(std::shared_ptr<const State> snapshot) {
                         ? compactions_fold_
                         : compactions_rebuild_;
     counter.fetch_add(1, std::memory_order_relaxed);
+    if (cstats.kind == stream::CompactionKind::kFold) {
+      Obs().compactions_fold->Add(1);
+      Obs().fold_seconds->Observe(compact_seconds);
+    } else {
+      Obs().compactions_rebuild->Add(1);
+      Obs().rebuild_seconds->Observe(compact_seconds);
+    }
   }
   pending_log_.clear();
   compaction_running_.store(false, std::memory_order_release);

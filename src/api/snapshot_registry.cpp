@@ -2,7 +2,35 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
 namespace slugger {
+
+namespace {
+
+struct SnapshotObs {
+  obs::Counter* publishes = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_snapshot_publish_total",
+      "snapshot swaps across every registry");
+  // Destroying a retired summary happens outside the registry lock, but
+  // the publisher thread still pays it; the distribution shows when
+  // last-owner retirement starts costing refresh jobs real time.
+  obs::Histogram* retire_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "slugger_snapshot_retire_seconds",
+      obs::HistogramOptions{1e-7, 4.0, 16},
+      "time to drop the retired snapshot after a swap");
+  obs::Gauge* last_version = obs::MetricsRegistry::Global().GetGauge(
+      "slugger_snapshot_last_version",
+      "version of the most recent publish on any registry");
+};
+
+const SnapshotObs& Obs() {
+  static SnapshotObs handles;
+  return handles;
+}
+
+}  // namespace
 
 SnapshotRegistry::SnapshotRegistry(CompressedGraph initial) {
   Publish(std::move(initial));
@@ -32,10 +60,17 @@ Status SnapshotRegistry::Publish(Snapshot replacement) {
     MutexLock lock(&mu_);
     retired = std::move(current_);
     current_ = std::move(replacement);
-    version_.fetch_add(1, std::memory_order_relaxed);
+    Obs().last_version->Set(static_cast<int64_t>(
+        version_.fetch_add(1, std::memory_order_relaxed) + 1));
   }
+  Obs().publishes->Add(1);
   // `retired` drops here, outside the lock: if this was the last owner of
   // a large summary, its destruction must not stall concurrent readers.
+  if (retired != nullptr) {
+    WallTimer retire_timer;
+    retired.reset();
+    Obs().retire_seconds->Observe(retire_timer.Seconds());
+  }
   return Status::OK();
 }
 

@@ -3,10 +3,51 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace slugger::dist {
+
+namespace {
+
+// Fan-out health of the scatter-gather tier. Slow/degraded/failed are
+// counted unconditionally — a caller that passes no GatherStats still
+// shows up on the dashboard.
+struct CoordObs {
+  obs::Counter* batches = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_coord_batches_total", "scatter-gather batches served");
+  obs::Counter* subqueries = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_coord_subqueries_total",
+      "per-shard sub-batch entries dispatched");
+  obs::Counter* slow_shards = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_coord_slow_shards_total",
+      "shard dispatches over the configured time budget");
+  obs::Counter* degraded_batches = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_coord_degraded_batches_total",
+      "batches served with at least one failed shard (allow_degraded)");
+  obs::Counter* failed_batches = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_coord_failed_batches_total",
+      "batches failed by a shard error (strict mode)");
+  obs::Histogram* dispatch_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "slugger_coord_dispatch_seconds",
+          obs::HistogramOptions{1e-6, 2.0, 24},
+          "per-shard dispatch latency");
+  obs::Histogram* stitch_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "slugger_coord_stitch_seconds", obs::HistogramOptions{1e-6, 2.0, 24},
+      "gather + reorder + sort time per batch");
+  obs::Histogram* batch_seconds = obs::MetricsRegistry::Global().GetHistogram(
+      "slugger_coord_batch_seconds", obs::HistogramOptions{1e-6, 2.0, 24},
+      "whole scatter-gather batch latency");
+};
+
+const CoordObs& Obs() {
+  static CoordObs handles;
+  return handles;
+}
+
+}  // namespace
 
 Coordinator::Coordinator(ServingEpoch initial, CoordinatorOptions options)
     : options_(options) {
@@ -164,8 +205,21 @@ Status Coordinator::RunScatterGather(std::span<const NodeId> nodes,
     if (!sub_nodes[s].empty()) active.push_back(s);
   }
 
+  // Root span of this batch; per-shard dispatch spans hang off it so a
+  // span dump reconstructs the fan-out of one slow batch. The id is
+  // surfaced through GatherStats for callers that log their own traces.
+  const CoordObs& obs = Obs();
+  obs.batches->Add(1);
+  obs.subqueries->Add(subqueries);
+  obs::ScopedSpan batch_span(&obs::MetricsRegistry::Global(), "coord.batch",
+                             /*parent=*/0, obs.batch_seconds, batch);
+  if (stats != nullptr) stats->span_id = batch_span.id();
+
   std::vector<ShardAnswer>& answers = scratch.answers;
   const auto dispatch_one = [&](uint32_t s) {
+    obs::ScopedSpan dispatch_span(&obs::MetricsRegistry::Global(),
+                                  "coord.dispatch", batch_span.id(),
+                                  Obs().dispatch_seconds, s);
     WallTimer timer;
     ShardAnswer& a = answers[s];
     a.status = Status::OK();
@@ -190,17 +244,19 @@ Status Coordinator::RunScatterGather(std::span<const NodeId> nodes,
     for (uint32_t s : active) dispatch_one(s);
   }
 
-  // Account the fan-out and collect casualties before stitching.
+  // Account the fan-out and collect casualties before stitching. Budget
+  // and failure accounting always reaches the registry, whether or not
+  // the caller asked for GatherStats.
   Status first_failure;
   uint32_t first_failed_shard = 0;
   for (uint32_t s : active) {
     const ShardAnswer& a = answers[s];
+    const bool over_budget = options_.shard_time_budget_seconds > 0 &&
+                             a.seconds > options_.shard_time_budget_seconds;
+    if (over_budget) obs.slow_shards->Add(1);
     if (stats != nullptr) {
       stats->max_shard_seconds = std::max(stats->max_shard_seconds, a.seconds);
-      if (options_.shard_time_budget_seconds > 0 &&
-          a.seconds > options_.shard_time_budget_seconds) {
-        ++stats->slow_shards;
-      }
+      if (over_budget) ++stats->slow_shards;
     }
     if (!a.status.ok()) {
       if (stats != nullptr) stats->degraded.emplace_back(s, a.status);
@@ -213,6 +269,13 @@ Status Coordinator::RunScatterGather(std::span<const NodeId> nodes,
   if (stats != nullptr) {
     stats->shards_dispatched = static_cast<uint32_t>(active.size());
     stats->subqueries = subqueries;
+  }
+  if (!first_failure.ok()) {
+    if (options_.allow_degraded) {
+      obs.degraded_batches->Add(1);
+    } else {
+      obs.failed_batches->Add(1);
+    }
   }
   if (!first_failure.ok() && !options_.allow_degraded) {
     if constexpr (kDegreesOnly) {
@@ -287,7 +350,9 @@ Status Coordinator::RunScatterGather(std::span<const NodeId> nodes,
       sort_range(0, batch);
     }
   }
-  if (stats != nullptr) stats->stitch_seconds = stitch_timer.Seconds();
+  const double stitch_seconds = stitch_timer.Seconds();
+  obs.stitch_seconds->Observe(stitch_seconds);
+  if (stats != nullptr) stats->stitch_seconds = stitch_seconds;
   return Status::OK();
 }
 

@@ -39,6 +39,7 @@
 #include "api/compressed_graph.hpp"
 #include "api/snapshot_registry.hpp"
 #include "dist/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 #include "util/sync.hpp"
 
@@ -82,6 +83,10 @@ struct GatherStats {
   double max_shard_seconds = 0.0;  ///< slowest shard's dispatch time
   double stitch_seconds = 0.0;     ///< gather + reorder + sort time
   std::vector<std::pair<uint32_t, Status>> degraded;  ///< shard -> failure
+  /// Trace id of this batch's root span (0 with SLUGGER_OBS=OFF): the
+  /// per-shard dispatch spans in obs::MetricsRegistry::RecentSpans()
+  /// carry it as their parent, linking a slow batch to its slow shard.
+  obs::SpanId span_id = 0;
 };
 
 class Coordinator {

@@ -1,0 +1,251 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace slugger::obs {
+
+namespace {
+
+// Formats a double the way Prometheus clients expect: shortest
+// round-trippable decimal, no locale surprises.
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+// Bucket bound with enough digits to distinguish exponential bounds but
+// without 1e-06 noise like %.17g would produce for every le label.
+void AppendBound(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string DumpPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(4096);
+  for (const MetricsRegistry::Entry& e : registry.Collect()) {
+    if (!e.help.empty()) {
+      out.append("# HELP ").append(e.name).push_back(' ');
+      out.append(e.help).push_back('\n');
+    }
+    switch (e.kind) {
+      case MetricsRegistry::Kind::kCounter: {
+        out.append("# TYPE ").append(e.name).append(" counter\n");
+        out.append(e.name).push_back(' ');
+        AppendU64(&out, e.counter->Value());
+        out.push_back('\n');
+        break;
+      }
+      case MetricsRegistry::Kind::kGauge: {
+        out.append("# TYPE ").append(e.name).append(" gauge\n");
+        out.append(e.name).push_back(' ');
+        AppendI64(&out, e.gauge->Value());
+        out.push_back('\n');
+        break;
+      }
+      case MetricsRegistry::Kind::kHistogram: {
+        out.append("# TYPE ").append(e.name).append(" histogram\n");
+        const HistogramSnapshot snap = e.histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < snap.bounds.size(); ++b) {
+          cumulative += snap.counts[b];
+          out.append(e.name).append("_bucket{le=\"");
+          AppendBound(&out, snap.bounds[b]);
+          out.append("\"} ");
+          AppendU64(&out, cumulative);
+          out.push_back('\n');
+        }
+        out.append(e.name).append("_bucket{le=\"+Inf\"} ");
+        AppendU64(&out, snap.count);
+        out.push_back('\n');
+        out.append(e.name).append("_sum ");
+        AppendDouble(&out, snap.sum);
+        out.push_back('\n');
+        out.append(e.name).append("_count ");
+        AppendU64(&out, snap.count);
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string DumpJson(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(4096);
+  out.append("{\"counters\":{");
+  bool first = true;
+  const std::vector<MetricsRegistry::Entry> entries = registry.Collect();
+  for (const auto& e : entries) {
+    if (e.kind != MetricsRegistry::Kind::kCounter) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, e.name);
+    out.push_back(':');
+    AppendU64(&out, e.counter->Value());
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& e : entries) {
+    if (e.kind != MetricsRegistry::Kind::kGauge) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, e.name);
+    out.push_back(':');
+    AppendI64(&out, e.gauge->Value());
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& e : entries) {
+    if (e.kind != MetricsRegistry::Kind::kHistogram) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, e.name);
+    out.append(":{\"bounds\":[");
+    const HistogramSnapshot snap = e.histogram->Snapshot();
+    for (size_t b = 0; b < snap.bounds.size(); ++b) {
+      if (b != 0) out.push_back(',');
+      AppendBound(&out, snap.bounds[b]);
+    }
+    out.append("],\"counts\":[");
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b != 0) out.push_back(',');
+      AppendU64(&out, snap.counts[b]);
+    }
+    out.append("],\"count\":");
+    AppendU64(&out, snap.count);
+    out.append(",\"sum\":");
+    AppendDouble(&out, snap.sum);
+    out.push_back('}');
+  }
+  out.append("},\"spans\":[");
+  first = true;
+  for (const Span& s : registry.RecentSpans()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"id\":");
+    AppendU64(&out, s.id);
+    out.append(",\"parent\":");
+    AppendU64(&out, s.parent);
+    out.append(",\"name\":");
+    AppendJsonString(&out, s.name);
+    out.append(",\"start\":");
+    AppendDouble(&out, s.start_seconds);
+    out.append(",\"duration\":");
+    AppendDouble(&out, s.duration_seconds);
+    out.append(",\"detail\":");
+    AppendU64(&out, s.detail);
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+// ------------------------------------------------------------ PeriodicDumper
+
+PeriodicDumper::PeriodicDumper(Sink sink, double interval_seconds,
+                               const MetricsRegistry& registry)
+    : registry_(registry),
+      sink_(std::move(sink)),
+      interval_seconds_(interval_seconds > 0 ? interval_seconds : 1.0) {}
+
+PeriodicDumper::~PeriodicDumper() { Stop(); }
+
+void PeriodicDumper::Start() {
+  {
+    MutexLock lock(&mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void PeriodicDumper::Stop() {
+  {
+    MutexLock lock(&mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+  MutexLock lock(&mu_);
+  running_ = false;
+}
+
+uint64_t PeriodicDumper::dumps() const {
+  MutexLock lock(&mu_);
+  return dumps_;
+}
+
+void PeriodicDumper::Run() {
+  for (;;) {
+    bool stopping;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_requested_) {
+        if (!stop_cv_.WaitFor(mu_, interval_seconds_)) break;  // interval due
+      }
+      stopping = stop_requested_;
+    }
+    // Dump outside the lock: the sink may be arbitrarily slow (stderr,
+    // file) and must not block Stop()'s request handshake.
+    const std::string text = sink_ ? DumpPrometheus(registry_) : std::string();
+    if (sink_) sink_(text);
+    {
+      MutexLock lock(&mu_);
+      ++dumps_;
+    }
+    if (stopping) return;  // final dump emitted
+  }
+}
+
+}  // namespace slugger::obs

@@ -1,0 +1,76 @@
+// slugger::obs exporters — turn a MetricsRegistry into wire formats.
+//
+//   DumpPrometheus  Prometheus text exposition format 0.0.4: HELP/TYPE
+//                   lines, cumulative histogram buckets with le labels,
+//                   _sum and _count series. This is the payload the
+//                   future server binary's /metrics endpoint returns.
+//   DumpJson        One structured JSON object (counters / gauges /
+//                   histograms / spans) for log pipelines and tests.
+//   PeriodicDumper  Background thread that invokes a sink with a fresh
+//                   dump every interval, plus one final dump at Stop()
+//                   so short-lived processes always emit at least once.
+//
+// All three compile in both SLUGGER_OBS modes; with the layer off the
+// registry is empty, so dumps contain headers only and the dumper just
+// ticks its sink with empty payloads.
+#ifndef SLUGGER_OBS_EXPORT_HPP_
+#define SLUGGER_OBS_EXPORT_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+
+namespace slugger::obs {
+
+/// Renders every metric in `registry` (Global() by default) in
+/// Prometheus text exposition format, sorted by metric name.
+std::string DumpPrometheus(const MetricsRegistry& registry =
+                               MetricsRegistry::Global());
+
+/// Renders metrics plus the recent-span ring as one JSON object.
+std::string DumpJson(const MetricsRegistry& registry =
+                         MetricsRegistry::Global());
+
+/// Periodically renders DumpPrometheus and hands the text to `sink` on a
+/// background thread. Start() spawns the thread; Stop() (or destruction)
+/// joins it after one final dump, so even a process shorter than one
+/// interval emits a complete dump. The sink is invoked from the dumper
+/// thread only, never concurrently with itself.
+class PeriodicDumper {
+ public:
+  using Sink = std::function<void(const std::string&)>;
+
+  PeriodicDumper(Sink sink, double interval_seconds,
+                 const MetricsRegistry& registry = MetricsRegistry::Global());
+  ~PeriodicDumper();
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  void Start() SLUGGER_REQUIRES(!mu_);
+  void Stop() SLUGGER_REQUIRES(!mu_);
+
+  /// Dumps emitted so far (periodic + final).
+  uint64_t dumps() const SLUGGER_REQUIRES(!mu_);
+
+ private:
+  void Run() SLUGGER_REQUIRES(!mu_);
+
+  const MetricsRegistry& registry_;
+  Sink sink_;
+  double interval_seconds_;
+  std::thread thread_;
+
+  mutable Mutex mu_;
+  CondVar stop_cv_;
+  bool stop_requested_ SLUGGER_GUARDED_BY(mu_) = false;
+  bool running_ SLUGGER_GUARDED_BY(mu_) = false;
+  uint64_t dumps_ SLUGGER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace slugger::obs
+
+#endif  // SLUGGER_OBS_EXPORT_HPP_

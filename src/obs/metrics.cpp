@@ -1,0 +1,264 @@
+#include "obs/metrics.hpp"
+
+#if SLUGGER_OBS_ENABLED
+
+#include <algorithm>
+#include <cmath>
+
+namespace slugger::obs {
+
+namespace detail {
+
+unsigned ShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return idx;
+}
+
+}  // namespace detail
+
+// ----------------------------------------------------------------- Histogram
+
+namespace {
+
+// Cells per shard: one per finite bucket, one overflow bucket, one
+// nanosecond value sum — rounded up to a whole number of cache lines
+// (8 x 8-byte atomics) so shards never share a line.
+size_t PaddedStride(size_t num_buckets) {
+  const size_t cells = num_buckets + 2;
+  return (cells + 7) / 8 * 8;
+}
+
+std::vector<double> MakeBounds(const HistogramOptions& options) {
+  // Clamp rather than reject: a bad config degrades resolution, it must
+  // not take down the serving path.
+  const uint32_t n = std::min<uint32_t>(std::max<uint32_t>(options.num_buckets, 1), 64);
+  const double growth = std::max(options.growth, 1.1);
+  double bound = options.first_bound > 0 ? options.first_bound : 1e-6;
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= growth;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+Histogram::Histogram(const HistogramOptions& options)
+    : bounds_(MakeBounds(options)),
+      stride_(PaddedStride(bounds_.size())),
+      cells_(std::make_unique<std::atomic<uint64_t>[]>(stride_ *
+                                                       detail::kShards)) {}
+
+void Histogram::Observe(double seconds) {
+  if (!(seconds >= 0)) seconds = 0;  // NaN / negative clamp to bucket 0
+  // Linear scan: <= 64 comparisons over a contiguous double array is
+  // faster than branchy binary search at these sizes.
+  size_t bucket = bounds_.size();  // overflow unless a bound catches it
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (seconds <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  std::atomic<uint64_t>* shard = cells_.get() + detail::ShardIndex() * stride_;
+  shard[bucket].fetch_add(1, std::memory_order_relaxed);
+  const double ns = seconds * 1e9;
+  const uint64_t ns_clamped =
+      ns >= 9.2e18 ? uint64_t{9200000000000000000u} : static_cast<uint64_t>(ns);
+  shard[bounds_.size() + 1].fetch_add(ns_clamped, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  uint64_t sum_ns = 0;
+  for (unsigned s = 0; s < detail::kShards; ++s) {
+    const std::atomic<uint64_t>* shard = cells_.get() + s * stride_;
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += shard[b].load(std::memory_order_relaxed);
+    }
+    sum_ns += shard[bounds_.size() + 1].load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  snap.sum = static_cast<double>(sum_ns) * 1e-9;
+  return snap;
+}
+
+// ----------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry::MetricsRegistry() {
+  conflicts_ = GetCounter(
+      "slugger_obs_registration_conflicts_total",
+      "Get* calls whose name was already registered as a different kind");
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metric pointers held by static ObsHandles in other
+  // translation units must stay valid through process teardown.
+  static MetricsRegistry* registry =
+      new MetricsRegistry();  // lint:allow(naked-new: intentional immortal singleton)
+  return *registry;
+}
+
+namespace {
+
+// A name claimed by another kind routes to a shared no-op sink so the
+// caller still gets a usable pointer of the kind it asked for.
+template <typename T>
+T* ConflictSink() {
+  static T sink;
+  return &sink;
+}
+
+bool NameTaken(const std::string& key,
+               const std::unordered_map<std::string, std::unique_ptr<Counter>>& a,
+               const std::unordered_map<std::string, std::unique_ptr<Gauge>>& b,
+               const std::unordered_map<std::string, std::unique_ptr<Histogram>>& c) {
+  return a.count(key) + b.count(key) + c.count(key) > 0;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::string key(name);
+  MutexLock lock(&mu_);
+  auto it = counters_.find(key);
+  if (it != counters_.end()) return it->second.get();
+  if (NameTaken(key, counters_, gauges_, histograms_)) {
+    if (conflicts_ != nullptr) conflicts_->Add(1);
+    return ConflictSink<Counter>();
+  }
+  if (!help.empty()) help_[key] = std::make_unique<std::string>(help);
+  return counters_.emplace(std::move(key), std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help) {
+  std::string key(name);
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(key);
+  if (it != gauges_.end()) return it->second.get();
+  if (NameTaken(key, counters_, gauges_, histograms_)) {
+    if (conflicts_ != nullptr) conflicts_->Add(1);
+    return ConflictSink<Gauge>();
+  }
+  if (!help.empty()) help_[key] = std::make_unique<std::string>(help);
+  return gauges_.emplace(std::move(key), std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramOptions& options,
+                                         std::string_view help) {
+  std::string key(name);
+  MutexLock lock(&mu_);
+  auto it = histograms_.find(key);
+  if (it != histograms_.end()) return it->second.get();
+  if (NameTaken(key, counters_, gauges_, histograms_)) {
+    if (conflicts_ != nullptr) conflicts_->Add(1);
+    static Histogram* sink =
+        new Histogram(HistogramOptions{});  // lint:allow(naked-new: intentional immortal conflict sink)
+    return sink;
+  }
+  if (!help.empty()) help_[key] = std::make_unique<std::string>(help);
+  return histograms_.emplace(std::move(key), std::make_unique<Histogram>(options))
+      .first->second.get();
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Collect() const {
+  std::vector<Entry> out;
+  {
+    MutexLock lock(&mu_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    // Help lookup is inlined (not a lambda): the analysis checks lambdas
+    // with an empty lock set, see the sync.hpp header comment.
+    for (const auto& [name, c] : counters_) {
+      Entry e;
+      e.name = name;
+      auto h_it = help_.find(name);
+      if (h_it != help_.end()) e.help = *h_it->second;
+      e.kind = Kind::kCounter;
+      e.counter = c.get();
+      out.push_back(std::move(e));
+    }
+    for (const auto& [name, g] : gauges_) {
+      Entry e;
+      e.name = name;
+      auto h_it = help_.find(name);
+      if (h_it != help_.end()) e.help = *h_it->second;
+      e.kind = Kind::kGauge;
+      e.gauge = g.get();
+      out.push_back(std::move(e));
+    }
+    for (const auto& [name, h] : histograms_) {
+      Entry e;
+      e.name = name;
+      auto h_it = help_.find(name);
+      if (h_it != help_.end()) e.help = *h_it->second;
+      e.kind = Kind::kHistogram;
+      e.histogram = h.get();
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricsRegistry::RecordSpan(const Span& span) {
+  MutexLock lock(&span_mu_);
+  if (span_ring_.size() < kSpanRingCapacity) {
+    span_ring_.push_back(span);
+  } else {
+    span_ring_[span_next_ % kSpanRingCapacity] = span;
+  }
+  ++span_next_;
+}
+
+std::vector<Span> MetricsRegistry::RecentSpans() const {
+  MutexLock lock(&span_mu_);
+  if (span_ring_.size() < kSpanRingCapacity) return span_ring_;
+  // Full ring: oldest entry is the next overwrite slot.
+  std::vector<Span> out;
+  out.reserve(kSpanRingCapacity);
+  const size_t head = span_next_ % kSpanRingCapacity;
+  out.insert(out.end(), span_ring_.begin() + head, span_ring_.end());
+  out.insert(out.end(), span_ring_.begin(), span_ring_.begin() + head);
+  return out;
+}
+
+// ------------------------------------------------------------ spans / clock
+
+SpanId NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+double ProcessSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+ScopedSpan::~ScopedSpan() {
+  const double end = ProcessSeconds();
+  Span span;
+  span.id = id_;
+  span.parent = parent_;
+  span.name = name_;
+  span.start_seconds = start_;
+  span.duration_seconds = end - start_;
+  span.detail = detail_;
+  if (registry_ != nullptr) registry_->RecordSpan(span);
+  if (histogram_ != nullptr) histogram_->Observe(span.duration_seconds);
+}
+
+}  // namespace slugger::obs
+
+#endif  // SLUGGER_OBS_ENABLED

@@ -1,0 +1,409 @@
+// slugger::obs — the process-wide observability vocabulary (ISSUE 10).
+//
+// One MetricsRegistry per process (Global()) holds named counters,
+// gauges, and fixed-boundary exponential-bucket latency histograms.
+// Every layer of the serving stack registers its metrics once (stable
+// pointers, registry-owned for the process lifetime) and updates them on
+// the hot path with relaxed atomics: a Counter::Add is one fetch_add on
+// a per-thread shard cell — one cache line touch, no lock, no false
+// sharing with other threads — and aggregation across shards happens
+// only when a reader (exporter, test) asks for Value().
+//
+// Trace spans ride alongside: NextSpanId() mints process-unique ids that
+// batch entry points thread through their fan-out (see
+// dist::GatherStats::span_id), and ScopedSpan records completed spans
+// into a bounded ring the JSON exporter drains — enough to answer
+// "where did this batch spend its time" across facade -> paged source ->
+// buffer manager -> shard coordinator without a tracing dependency.
+//
+// Compile-time escape hatch: building with -DSLUGGER_OBS_ENABLED=0
+// (CMake -DSLUGGER_OBS=OFF) swaps every type here for an inline no-op
+// stub with the identical API, so instrumentation call sites compile
+// away to nothing. obs::kEnabled tells callers which world they are in.
+// Functional timing (progress events, GatherStats fields, compaction
+// cost decisions) must therefore NEVER flow through these types — it
+// stays on util::WallTimer, which survives SLUGGER_OBS=OFF.
+//
+// Metric naming convention (enforced by review, documented in README):
+//   slugger_<layer>_<what>[_<unit>]   e.g. slugger_coord_dispatch_seconds
+// counters end in _total, histograms in _seconds (values are seconds),
+// gauges are bare nouns. Names are a FIXED small set — no per-node,
+// per-shard, or per-request names (cardinality rule); per-shard detail
+// belongs in spans.
+//
+// Thread-safety contract: every method on every type here is safe from
+// any number of threads concurrently. Hot-path updates (Add/Set/Observe)
+// are wait-free relaxed atomics; registration and snapshot reads
+// serialize on internal mutexes (sync.hpp annotated). Returned metric
+// pointers are valid for the registry's lifetime (the Global() registry
+// never dies).
+#ifndef SLUGGER_OBS_METRICS_HPP_
+#define SLUGGER_OBS_METRICS_HPP_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sync.hpp"
+
+#ifndef SLUGGER_OBS_ENABLED
+#define SLUGGER_OBS_ENABLED 1
+#endif
+
+namespace slugger::obs {
+
+/// True when the observability layer is compiled in; with false every
+/// type below is an inline no-op stub and dumps are empty.
+inline constexpr bool kEnabled = SLUGGER_OBS_ENABLED != 0;
+
+// ------------------------------------------------------------- span types
+// Defined in both modes so structs that carry span ids (GatherStats)
+// keep their layout regardless of SLUGGER_OBS.
+
+/// Process-unique trace span id; 0 means "no span".
+using SpanId = uint64_t;
+
+/// One completed span. `name` must be a string literal (spans are
+/// recorded at hot-path exit; no allocation). `detail` is a free-form
+/// small integer — shard index, batch size — interpreted per name.
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  const char* name = "";
+  double start_seconds = 0.0;  ///< process-relative (ProcessSeconds clock)
+  double duration_seconds = 0.0;
+  uint64_t detail = 0;
+};
+
+/// Exponential bucket layout of a Histogram: bucket b spans
+/// (first_bound * growth^(b-1), first_bound * growth^b], bucket 0 is
+/// (-inf, first_bound], plus one overflow bucket above the last bound.
+struct HistogramOptions {
+  double first_bound = 1e-6;  ///< seconds; smallest upper bound
+  double growth = 2.0;        ///< bound ratio between adjacent buckets
+  uint32_t num_buckets = 24;  ///< finite buckets (1e-6 * 2^23 ~ 8.4 s)
+};
+
+/// Point-in-time aggregate of a Histogram, for exporters and tests.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< upper bounds, ascending
+  std::vector<uint64_t> counts;  ///< per-bucket (bounds.size() + 1 entries)
+  uint64_t count = 0;            ///< total observations (== sum of counts)
+  double sum = 0.0;              ///< sum of observed values, seconds
+};
+
+#if SLUGGER_OBS_ENABLED
+
+namespace detail {
+/// Number of per-thread shard cells in every counter/histogram; a power
+/// of two. 8 cells x 64 B keeps a Counter at one page-friendly 512 B
+/// while making cross-thread contention on one hot counter unlikely.
+inline constexpr unsigned kShards = 8;
+
+/// This thread's shard slot, assigned round-robin at first use.
+unsigned ShardIndex();
+
+/// One cache line per cell so two threads bumping the same counter never
+/// write-share a line.
+struct alignas(64) Cell {
+  std::atomic<uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. Add is wait-free (one relaxed fetch_add on this
+/// thread's shard cell); Value sums the shards at one point in time.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[detail::ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const detail::Cell& c : cells_) {
+      total += c.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::Cell, detail::kShards> cells_;
+};
+
+/// Last-writer-wins signed gauge (set semantics cannot shard). Updates
+/// are single relaxed stores/adds on one atomic.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-boundary exponential-bucket histogram of nonnegative seconds.
+/// Observe is wait-free: a bound scan over <= 64 doubles plus two relaxed
+/// fetch_adds on this thread's shard (bucket cell + nanosecond sum cell).
+/// The value sum is kept in integer nanoseconds so shards need no
+/// floating-point atomics; sub-nanosecond truncation is the (documented)
+/// precision floor of `HistogramSnapshot::sum`.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options);
+
+  void Observe(double seconds);
+
+  /// Aggregates the shards. Each cell is read once; counts are exact for
+  /// all observations that completed before the call (relaxed counters,
+  /// same contract as Counter::Value).
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  /// Cells laid out shard-major: shard s owns
+  /// cells_[s * stride_ .. s * stride_ + num_buckets], one per bucket
+  /// (finite buckets then overflow), then the shard's nanosecond sum at
+  /// offset num_buckets + 1. stride_ rounds to a cache line so shards
+  /// never share one.
+  std::vector<double> bounds_;
+  size_t stride_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+};
+
+/// The process-wide metric namespace. Get* registers on first use and
+/// returns the same stable pointer for every later call with that name
+/// (re-registration is how independent call sites share one metric). A
+/// name already claimed by a DIFFERENT metric kind is a registration
+/// conflict: the call returns a process-wide no-op sink of the requested
+/// kind (never null, never the other kind's metric) and bumps
+/// slugger_obs_registration_conflicts_total — misuse is visible in the
+/// export instead of crashing the serving path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process registry every layer instruments into. Never destroyed
+  /// (metric pointers outlive static teardown races).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, std::string_view help = {})
+      SLUGGER_REQUIRES(!mu_);
+  Gauge* GetGauge(std::string_view name, std::string_view help = {})
+      SLUGGER_REQUIRES(!mu_);
+  Histogram* GetHistogram(std::string_view name,
+                          const HistogramOptions& options = {},
+                          std::string_view help = {}) SLUGGER_REQUIRES(!mu_);
+
+  /// One registered metric, for exporters. `kind` disambiguates which
+  /// pointer is set.
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// All registered metrics sorted by name (the exporters' stable
+  /// iteration order). Values are read by the caller afterwards, so a
+  /// dump is per-metric consistent, never blocked on writers.
+  std::vector<Entry> Collect() const SLUGGER_REQUIRES(!mu_);
+
+  /// Appends a completed span to the bounded ring (oldest dropped).
+  void RecordSpan(const Span& span) SLUGGER_REQUIRES(!span_mu_);
+
+  /// The ring's contents, oldest first.
+  std::vector<Span> RecentSpans() const SLUGGER_REQUIRES(!span_mu_);
+
+  /// Ring capacity; spans beyond it evict the oldest.
+  static constexpr size_t kSpanRingCapacity = 256;
+
+ private:
+  template <typename T>
+  using Map = std::unordered_map<std::string, std::unique_ptr<T>>;
+
+  mutable Mutex mu_;
+  Map<Counter> counters_ SLUGGER_GUARDED_BY(mu_);
+  Map<Gauge> gauges_ SLUGGER_GUARDED_BY(mu_);
+  Map<Histogram> histograms_ SLUGGER_GUARDED_BY(mu_);
+  Map<std::string> help_ SLUGGER_GUARDED_BY(mu_);
+  Counter* conflicts_ = nullptr;  ///< registered in the constructor
+
+  mutable Mutex span_mu_;
+  std::vector<Span> span_ring_ SLUGGER_GUARDED_BY(span_mu_);
+  size_t span_next_ SLUGGER_GUARDED_BY(span_mu_) = 0;
+};
+
+/// Mints the next process-unique span id (never 0).
+SpanId NextSpanId();
+
+/// Monotonic seconds since the process first touched the obs layer; the
+/// clock Span::start_seconds is expressed in.
+double ProcessSeconds();
+
+/// RAII metrics stopwatch: observes its lifetime into `histogram` at
+/// destruction. Null histogram = inert. Metrics-only by contract — for
+/// timing that feeds program logic use util::WallTimer, which survives
+/// SLUGGER_OBS=OFF.
+class ScopedTimer {
+ public:
+  /// A null histogram makes the timer fully inert — no clock reads — so
+  /// hot paths can sample (pass the histogram 1-in-N calls, else null).
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = Clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(
+          std::chrono::duration<double>(Clock::now() - start_).count());
+    }
+  }
+
+  /// Drops the pending observation (e.g. on an error path that should
+  /// not pollute the latency distribution).
+  void Cancel() { histogram_ = nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+/// RAII trace span: mints an id at construction, records the completed
+/// Span into `registry`'s ring at destruction, and optionally observes
+/// the duration into `histogram` too (one clock read serves both).
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry* registry, const char* name, SpanId parent = 0,
+             Histogram* histogram = nullptr, uint64_t detail = 0)
+      : registry_(registry),
+        histogram_(histogram),
+        name_(name),
+        id_(NextSpanId()),
+        parent_(parent),
+        detail_(detail),
+        start_(ProcessSeconds()) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  SpanId id() const { return id_; }
+
+ private:
+  MetricsRegistry* registry_;
+  Histogram* histogram_;
+  const char* name_;
+  SpanId id_;
+  SpanId parent_;
+  uint64_t detail_;
+  double start_;
+};
+
+#else  // SLUGGER_OBS_ENABLED == 0 ------------------------- no-op stubs
+
+// The identical API with empty bodies: instrumentation call sites
+// compile unchanged and the optimizer deletes them. Registered names do
+// not exist (dumps are empty), values read as zero, span ids as 0.
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  void Observe(double) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> empty;
+    return empty;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+
+  Counter* GetCounter(std::string_view, std::string_view = {}) {
+    static Counter sink;
+    return &sink;
+  }
+  Gauge* GetGauge(std::string_view, std::string_view = {}) {
+    static Gauge sink;
+    return &sink;
+  }
+  Histogram* GetHistogram(std::string_view, const HistogramOptions& = {},
+                          std::string_view = {}) {
+    static Histogram sink;
+    return &sink;
+  }
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  std::vector<Entry> Collect() const { return {}; }
+
+  void RecordSpan(const Span&) {}
+  std::vector<Span> RecentSpans() const { return {}; }
+  static constexpr size_t kSpanRingCapacity = 0;
+};
+
+inline SpanId NextSpanId() { return 0; }
+inline double ProcessSeconds() { return 0.0; }
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram*) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  void Cancel() {}
+};
+
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry*, const char*, SpanId = 0, Histogram* = nullptr,
+             uint64_t = 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  SpanId id() const { return 0; }
+};
+
+#endif  // SLUGGER_OBS_ENABLED
+
+}  // namespace slugger::obs
+
+#endif  // SLUGGER_OBS_METRICS_HPP_

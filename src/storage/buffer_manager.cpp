@@ -9,11 +9,39 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "storage/format.hpp"
 
 namespace slugger::storage {
 
 namespace {
+
+// Process-wide mirrors of the per-instance counters below: the registry
+// counters sum across every BufferManager (all shards of a sharded
+// serving run), so a cross-shard read is one consistent Counter::Value()
+// instead of a stale sum over per-source stats() snapshots.
+struct BufferObs {
+  obs::Counter* fetches = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_buffer_fetches_total", "page fetches that returned a page");
+  obs::Counter* faults = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_buffer_faults_total",
+      "first-touch page loads (mmap verify / pread disk read)");
+  obs::Counter* evictions = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_buffer_evictions_total", "pread LRU frames dropped");
+  obs::Counter* checksum_failures = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_buffer_checksum_failures_total", "page checksum mismatches");
+  obs::Gauge* resident = obs::MetricsRegistry::Global().GetGauge(
+      "slugger_buffer_resident_pages",
+      "pages currently resident across all buffer managers");
+  obs::Gauge* pinned = obs::MetricsRegistry::Global().GetGauge(
+      "slugger_buffer_pinned_pages",
+      "pages currently pinned across all buffer managers");
+};
+
+const BufferObs& Obs() {
+  static BufferObs handles;
+  return handles;
+}
 
 void BumpMax(std::atomic<uint64_t>* max, uint64_t candidate) {
   uint64_t cur = max->load(std::memory_order_relaxed);
@@ -120,6 +148,9 @@ StatusOr<std::unique_ptr<BufferManager>> BufferManager::FromBuffer(
 }
 
 BufferManager::~BufferManager() {
+  // This manager's pages leave the process-wide residency gauge with it.
+  const uint64_t resident = resident_.load(std::memory_order_relaxed);
+  if (resident != 0) Obs().resident->Add(-static_cast<int64_t>(resident));
   if (backend_ == Io::kMmap && map_ != nullptr) {
     ::munmap(const_cast<uint8_t*>(map_), map_len_);
   }
@@ -136,7 +167,9 @@ StatusOr<PageRef> BufferManager::Fetch(uint32_t page) {
                                       : FetchDirect(page);
   if (!data.ok()) return data.status();
   fetches_.fetch_add(1, std::memory_order_relaxed);
+  Obs().fetches->Add(1);
   const uint64_t pins = pinned_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Obs().pinned->Add(1);
   BumpMax(&max_pinned_, pins);
   return PageRef(this, page, data.value());
 }
@@ -152,11 +185,14 @@ StatusOr<const uint8_t*> BufferManager::FetchDirect(uint32_t page) {
         Checksum64(data, page_size_) != checksums_[page]) {
       state = 2;
       checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+      Obs().checksum_failures->Add(1);
     } else {
       state = 1;
     }
     faults_.fetch_add(1, std::memory_order_relaxed);
     resident_.fetch_add(1, std::memory_order_relaxed);
+    Obs().faults->Add(1);
+    Obs().resident->Add(1);
     verified_[page].store(state, std::memory_order_release);
   }
   if (state == 2) {
@@ -190,6 +226,8 @@ StatusOr<const uint8_t*> BufferManager::FetchPread(uint32_t page) {
     frames_.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     resident_.fetch_sub(1, std::memory_order_relaxed);
+    Obs().evictions->Add(1);
+    Obs().resident->Add(-1);
   }
   auto data = std::make_unique<uint8_t[]>(page_size_);
   const uint64_t off = static_cast<uint64_t>(page) * page_size_;
@@ -212,11 +250,14 @@ StatusOr<const uint8_t*> BufferManager::FetchPread(uint32_t page) {
   if (checksums_[page] != 0 &&
       Checksum64(data.get(), page_size_) != checksums_[page]) {
     checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+    Obs().checksum_failures->Add(1);
     return Status::Corruption("page " + std::to_string(page) +
                               " checksum mismatch");
   }
   faults_.fetch_add(1, std::memory_order_relaxed);
   resident_.fetch_add(1, std::memory_order_relaxed);
+  Obs().faults->Add(1);
+  Obs().resident->Add(1);
   Frame frame;
   frame.data = std::move(data);
   frame.pins = 1;
@@ -228,6 +269,7 @@ StatusOr<const uint8_t*> BufferManager::FetchPread(uint32_t page) {
 
 void BufferManager::Unpin(uint32_t page) {
   pinned_.fetch_sub(1, std::memory_order_relaxed);
+  Obs().pinned->Add(-1);
   if (backend_ == Io::kPread) {
     MutexLock lock(&mu_);
     auto it = frames_.find(page);
@@ -236,14 +278,24 @@ void BufferManager::Unpin(uint32_t page) {
 }
 
 BufferStats BufferManager::stats() const {
+  // Read order makes a concurrent snapshot internally consistent: each
+  // eviction increments evictions_ before decrementing resident_, and
+  // each fault increments faults_ before a later fetch can complete, so
+  // reading evictions -> faults -> fetches (and pinned before its
+  // high-water mark, clamping below) preserves the invariants
+  //   evictions <= faults,  faults - evictions >= resident's floor,
+  //   pinned_now <= max_pinned
+  // even while writers are mid-flight. An unordered read could observe
+  // e.g. more evictions than faults and report negative residency math.
   BufferStats s;
-  s.fetches = fetches_.load(std::memory_order_relaxed);
-  s.faults = faults_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_acquire);
+  s.faults = faults_.load(std::memory_order_acquire);
+  s.fetches = fetches_.load(std::memory_order_acquire);
   s.checksum_failures = checksum_failures_.load(std::memory_order_relaxed);
   s.resident_pages = resident_.load(std::memory_order_relaxed);
-  s.pinned_now = pinned_.load(std::memory_order_relaxed);
-  s.max_pinned = max_pinned_.load(std::memory_order_relaxed);
+  s.pinned_now = pinned_.load(std::memory_order_acquire);
+  s.max_pinned = max_pinned_.load(std::memory_order_acquire);
+  if (s.max_pinned < s.pinned_now) s.max_pinned = s.pinned_now;
   return s;
 }
 

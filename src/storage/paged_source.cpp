@@ -13,9 +13,26 @@
 #include <sys/stat.h>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace slugger::storage {
 
 namespace {
+
+// Decoded-record cache effectiveness across every open paged source.
+struct RecordCacheObsHandles {
+  obs::Counter* hits = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_paged_record_cache_hits_total",
+      "ancestor-record lookups served from the decoded cache");
+  obs::Counter* misses = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_paged_record_cache_misses_total",
+      "ancestor-record lookups that parsed pages");
+};
+
+const RecordCacheObsHandles& RecordCacheObs() {
+  static RecordCacheObsHandles handles;
+  return handles;
+}
 
 /// Mirrors the override dominance constant of summary/neighbor_query.cpp:
 /// large enough to out-vote any real net coverage on a pair.
@@ -313,8 +330,12 @@ PagedSummarySource::FetchRecord(uint32_t fid) const {
   if (cache_capacity_per_shard_ > 0) {
     MutexLock lock(&shard.mu);
     auto it = shard.map.find(fid);
-    if (it != shard.map.end()) return it->second;
+    if (it != shard.map.end()) {
+      RecordCacheObs().hits->Add(1);
+      return it->second;
+    }
   }
+  RecordCacheObs().misses->Add(1);
   StatusOr<uint64_t> pos = LocateRecord(fid);
   if (!pos.ok()) return pos.status();
   StatusOr<DecodedRecord> rec = ParseRecord(fid, pos.value(), nullptr);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+
 namespace slugger::summary {
 
 /// The shared coverage pass of Algorithm 4: walks the ancestor chain of v
@@ -82,6 +84,26 @@ void ResetCoverage(BatchScratch* s) {
   s->applied.clear();
 }
 
+// How often the batch walk amortizes work: chain reuse (retract only the
+// divergent ancestor suffix), full resets, and duplicate-node copy hits.
+// Updated once per batch from local tallies — never per node.
+struct BatchObs {
+  obs::Counter* chain_reuse = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_chain_reuse_total",
+      "batch nodes that kept a shared ancestor-chain prefix applied");
+  obs::Counter* chain_reset = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_chain_reset_total",
+      "batch nodes that discarded coverage (single-query strategy)");
+  obs::Counter* dup_hits = obs::MetricsRegistry::Global().GetCounter(
+      "slugger_query_batch_dup_hits_total",
+      "batch nodes answered by copying the previous duplicate's answer");
+};
+
+const BatchObs& Obs() {
+  static BatchObs handles;
+  return handles;
+}
+
 /// One pass for both batch flavors; kDegreesOnly skips materialization.
 template <bool kDegreesOnly>
 void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
@@ -131,6 +153,7 @@ void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
   // carried from the peek at the bottom of the previous iteration (0
   // whenever that peek chose to reset the coverage).
   size_t common = 0;
+  uint64_t obs_reuse = 0, obs_reset = 0, obs_dup = 0;
   for (size_t k = 0; k < batch; ++k) {
     const uint32_t i = s->order[k];
     const NodeId v = nodes[i];
@@ -142,6 +165,7 @@ void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
     // re-scanning the coverage. Hot nodes make this common in real
     // serving batches.
     if (k > 0 && nodes[s->order[k - 1]] == v) {
+      ++obs_dup;
       if constexpr (kDegreesOnly) {
         (*degrees)[i] = (*degrees)[s->order[k - 1]];
       } else {
@@ -187,6 +211,12 @@ void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
     // reads it — one pass, exactly the single-query strategy.
     const size_t next_common = prefix_shared_with_next(k, chain_b, chain_len);
     const bool keep_applied = 2 * next_common > chain_len;
+
+    if (keep_applied) {
+      ++obs_reuse;
+    } else {
+      ++obs_reset;
+    }
 
     uint64_t degree = 0;
     if (keep_applied) {
@@ -235,6 +265,11 @@ void RunBatch(const SummaryGraph& summary, std::span<const NodeId> nodes,
     }
   }
   ResetCoverage(s);
+
+  // One flush per batch keeps the per-node loop free of atomics.
+  if (obs_reuse != 0) Obs().chain_reuse->Add(obs_reuse);
+  if (obs_reset != 0) Obs().chain_reset->Add(obs_reset);
+  if (obs_dup != 0) Obs().dup_hits->Add(obs_dup);
 
   if constexpr (!kDegreesOnly) {
     // Staged answers are in processing order; emit them in input order.

@@ -31,6 +31,7 @@
 #ifndef SLUGGER_UTIL_SYNC_HPP_
 #define SLUGGER_UTIL_SYNC_HPP_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -217,6 +218,17 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's scope still owns the re-acquired lock
+  }
+
+  /// Timed Wait: returns false if `seconds` elapsed without a notify.
+  /// Same contract as Wait — spurious wakeups return true, so callers
+  /// loop on their condition and use the return only to detect timeout.
+  bool WaitFor(Mutex& mu, double seconds) SLUGGER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();  // the caller's scope still owns the re-acquired lock
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,443 @@
+// Tests for the observability layer (ISSUE 10): histogram bucketing
+// against a scalar oracle, counter agreement under thread hammering
+// (runs in the TSan CI job), exporter golden formats, registry
+// re-registration and kind-conflict behavior, span plumbing, and the
+// SLUGGER_OBS=OFF no-op semantics.
+//
+// Every test uses a LOCAL MetricsRegistry, never Global(): the global
+// registry accumulates from other instrumented code in this process and
+// cannot be reset, so asserting exact values against it would be flaky.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace slugger {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, ReRegistrationReturnsSamePointer) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("test_total", "first");
+  obs::Counter* b = registry.GetCounter("test_total", "ignored later");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  obs::Gauge* ga = registry.GetGauge("test_depth");
+  obs::Gauge* gb = registry.GetGauge("test_depth");
+  EXPECT_EQ(ga, gb);
+  obs::Histogram* ha = registry.GetHistogram("test_seconds");
+  obs::Histogram* hb = registry.GetHistogram("test_seconds");
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(MetricsRegistry, DistinctNamesAreDistinctMetrics) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode shares one no-op sink";
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("test_a_total");
+  obs::Counter* b = registry.GetCounter("test_b_total");
+  EXPECT_NE(a, b);
+  a->Add(3);
+  EXPECT_EQ(a->Value(), 3u);
+  EXPECT_EQ(b->Value(), 0u);
+}
+
+TEST(MetricsRegistry, KindConflictYieldsSinkAndCountsIt) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode has no registration";
+  obs::MetricsRegistry registry;
+  obs::Counter* conflicts =
+      registry.GetCounter("slugger_obs_registration_conflicts_total");
+  EXPECT_EQ(conflicts->Value(), 0u);
+
+  obs::Counter* c = registry.GetCounter("test_name");
+  ASSERT_NE(c, nullptr);
+  // Same name, different kind: a no-op sink, never null, never the
+  // counter reinterpreted.
+  obs::Gauge* g = registry.GetGauge("test_name");
+  ASSERT_NE(g, nullptr);
+  g->Set(42);
+  obs::Histogram* h = registry.GetHistogram("test_name");
+  ASSERT_NE(h, nullptr);
+  h->Observe(1.0);
+  EXPECT_EQ(conflicts->Value(), 2u);
+
+  // The real counter is untouched and still reachable under its name.
+  c->Add(1);
+  EXPECT_EQ(registry.GetCounter("test_name")->Value(), 1u);
+  // The sink swallowed the writes: only one gauge-kind entry for the
+  // name must NOT appear in a collection.
+  int entries_for_name = 0;
+  for (const auto& e : registry.Collect()) {
+    if (e.name == "test_name") {
+      ++entries_for_name;
+      EXPECT_EQ(e.kind, obs::MetricsRegistry::Kind::kCounter);
+    }
+  }
+  EXPECT_EQ(entries_for_name, 1);
+}
+
+TEST(MetricsRegistry, CollectIsSortedByName) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode collects nothing";
+  obs::MetricsRegistry registry;
+  registry.GetCounter("zz_total");
+  registry.GetGauge("aa_depth");
+  registry.GetHistogram("mm_seconds");
+  const std::vector<obs::MetricsRegistry::Entry> entries = registry.Collect();
+  ASSERT_GE(entries.size(), 4u);  // + the constructor's conflicts counter
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  }
+}
+
+// ------------------------------------------------------------ histogram
+
+// Scalar oracle for the exponential bucket layout: first bound that
+// catches the value, else the overflow bucket.
+size_t OracleBucket(const std::vector<double>& bounds, double v) {
+  if (!(v >= 0)) v = 0;  // same NaN/negative clamp as Observe
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (v <= bounds[i]) return i;
+  }
+  return bounds.size();
+}
+
+TEST(Histogram, BucketsMatchScalarOracle) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode records nothing";
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram(
+      "test_seconds", obs::HistogramOptions{1e-3, 2.0, 8});
+  const std::vector<double>& bounds = h->bounds();
+  ASSERT_EQ(bounds.size(), 8u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e-3 * 128);
+
+  // Deterministic values hitting every regime: zero, below first bound,
+  // exactly on bounds, between bounds, overflow, and the NaN/negative
+  // clamps. All multiples of 1 ns so the integer-nanosecond sum is exact.
+  const std::vector<double> values = {
+      0.0,    1e-9,  5e-4,   1e-3,   1.5e-3, 2e-3,  3e-3,    0.016,
+      0.128,  0.127, 0.1281, 5.0,    123.0,  2e-3,  2.001e-3, 0.064,
+      -1.0,   0.008, 0.004,  0.0315};
+  std::vector<uint64_t> oracle(bounds.size() + 1, 0);
+  double oracle_sum = 0;
+  for (double v : values) {
+    h->Observe(v);
+    ++oracle[OracleBucket(bounds, v)];
+    oracle_sum += v >= 0 ? v : 0;
+  }
+
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  ASSERT_EQ(snap.counts.size(), oracle.size());
+  for (size_t b = 0; b < oracle.size(); ++b) {
+    EXPECT_EQ(snap.counts[b], oracle[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(snap.count, values.size());
+  // The sum is kept in integer nanoseconds; these inputs are exact.
+  EXPECT_NEAR(snap.sum, oracle_sum, 1e-9 * static_cast<double>(values.size()));
+}
+
+TEST(Histogram, ClampsDegenerateOptions) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode has no bounds";
+  obs::MetricsRegistry registry;
+  // Zero buckets, growth below 1, nonpositive first bound: clamped to a
+  // usable layout instead of rejected (bad config must not take down
+  // serving).
+  obs::Histogram* h = registry.GetHistogram(
+      "test_degenerate_seconds", obs::HistogramOptions{-1.0, 0.5, 0});
+  ASSERT_EQ(h->bounds().size(), 1u);
+  EXPECT_GT(h->bounds()[0], 0.0);
+  h->Observe(1e9);  // lands in overflow, no crash
+  EXPECT_EQ(h->Snapshot().count, 1u);
+}
+
+// ------------------------------------------- concurrency (TSan target)
+
+TEST(ObsConcurrency, CountersAndHistogramsAgreeUnderHammering) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode records nothing";
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("test_hammer_total");
+  obs::Gauge* gauge = registry.GetGauge("test_hammer_depth");
+  obs::Histogram* hist = registry.GetHistogram(
+      "test_hammer_seconds", obs::HistogramOptions{1e-6, 2.0, 16});
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 20000;
+  std::atomic<int> start_gate{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start_gate.fetch_add(1);
+      while (start_gate.load() < kThreads) {
+      }
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        counter->Add(1);
+        gauge->Add(t % 2 == 0 ? 1 : -1);
+        // 1 us..~32 ms spread so several buckets see traffic.
+        hist->Observe(1e-6 * static_cast<double>(1u << (i % 16)));
+        if ((i & 1023) == 0) {
+          // Concurrent readers must see internally consistent snapshots.
+          const obs::HistogramSnapshot snap = hist->Snapshot();
+          uint64_t bucket_total = 0;
+          for (uint64_t c : snap.counts) bucket_total += c;
+          ASSERT_EQ(snap.count, bucket_total);
+          (void)counter->Value();
+          (void)registry.Collect();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter->Value(), kThreads * kOpsPerThread);
+  EXPECT_EQ(gauge->Value(), 0);  // four +1 threads, four -1 threads
+  const obs::HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kOpsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ObsConcurrency, RegistrationRaceYieldsOneMetric) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode has no registration";
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<obs::Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::Counter* c = registry.GetCounter("test_race_total");
+      c->Add(1);
+      seen[static_cast<size_t>(t)] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+// ------------------------------------------------------------ exporters
+
+TEST(Exporters, PrometheusGoldenFormat) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode dumps are empty";
+  obs::MetricsRegistry registry;
+  registry.GetCounter("test_requests_total", "req")->Add(3);
+  registry.GetGauge("test_queue_depth", "depth")->Set(-2);
+  obs::Histogram* h = registry.GetHistogram(
+      "test_latency_seconds", obs::HistogramOptions{0.5, 2.0, 2}, "lat");
+  h->Observe(0.25);  // bucket le=0.5
+  h->Observe(0.75);  // bucket le=1
+  h->Observe(4.0);   // overflow
+  const std::string expected =
+      "# HELP slugger_obs_registration_conflicts_total Get* calls whose name "
+      "was already registered as a different kind\n"
+      "# TYPE slugger_obs_registration_conflicts_total counter\n"
+      "slugger_obs_registration_conflicts_total 0\n"
+      "# HELP test_latency_seconds lat\n"
+      "# TYPE test_latency_seconds histogram\n"
+      "test_latency_seconds_bucket{le=\"0.5\"} 1\n"
+      "test_latency_seconds_bucket{le=\"1\"} 2\n"
+      "test_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "test_latency_seconds_sum 5\n"
+      "test_latency_seconds_count 3\n"
+      "# HELP test_queue_depth depth\n"
+      "# TYPE test_queue_depth gauge\n"
+      "test_queue_depth -2\n"
+      "# HELP test_requests_total req\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total 3\n";
+  EXPECT_EQ(DumpPrometheus(registry), expected);
+}
+
+TEST(Exporters, JsonGoldenFormat) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode dumps are empty";
+  obs::MetricsRegistry registry;
+  registry.GetCounter("test_requests_total")->Add(3);
+  registry.GetGauge("test_queue_depth")->Set(-2);
+  obs::Histogram* h = registry.GetHistogram(
+      "test_latency_seconds", obs::HistogramOptions{0.5, 2.0, 2});
+  h->Observe(0.25);
+  h->Observe(0.75);
+  h->Observe(4.0);
+  obs::Span span;
+  span.id = 7;
+  span.parent = 3;
+  span.name = "unit.test";
+  span.start_seconds = 1.5;
+  span.duration_seconds = 0.25;
+  span.detail = 99;
+  registry.RecordSpan(span);
+  const std::string expected =
+      "{\"counters\":{\"slugger_obs_registration_conflicts_total\":0,"
+      "\"test_requests_total\":3},"
+      "\"gauges\":{\"test_queue_depth\":-2},"
+      "\"histograms\":{\"test_latency_seconds\":{\"bounds\":[0.5,1],"
+      "\"counts\":[1,1,1],\"count\":3,\"sum\":5}},"
+      "\"spans\":[{\"id\":7,\"parent\":3,\"name\":\"unit.test\","
+      "\"start\":1.5,\"duration\":0.25,\"detail\":99}]}";
+  EXPECT_EQ(DumpJson(registry), expected);
+}
+
+TEST(Exporters, PeriodicDumperEmitsFinalDumpOnStop) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("test_requests_total")->Add(1);
+  std::vector<std::string> dumps;
+  Mutex mu;
+  obs::PeriodicDumper dumper(
+      [&](const std::string& text) {
+        MutexLock lock(&mu);
+        dumps.push_back(text);
+      },
+      /*interval_seconds=*/60.0, registry);
+  dumper.Start();
+  dumper.Stop();  // long interval: the only dump is the final one
+  ASSERT_EQ(dumper.dumps(), 1u);
+  MutexLock lock(&mu);
+  ASSERT_EQ(dumps.size(), 1u);
+  if (obs::kEnabled) {
+    EXPECT_NE(dumps[0].find("test_requests_total 1"), std::string::npos);
+  } else {
+    EXPECT_TRUE(dumps[0].empty());
+  }
+}
+
+TEST(Exporters, PeriodicDumperTicksOnInterval) {
+  obs::MetricsRegistry registry;
+  std::atomic<uint64_t> ticks{0};
+  obs::PeriodicDumper dumper([&](const std::string&) { ticks.fetch_add(1); },
+                             /*interval_seconds=*/0.005, registry);
+  dumper.Start();
+  // Wait (bounded) for at least two periodic ticks before stopping.
+  for (int i = 0; i < 2000 && ticks.load() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  dumper.Stop();
+  EXPECT_GE(ticks.load(), 3u);  // >= 2 periodic + 1 final
+  EXPECT_EQ(dumper.dumps(), ticks.load());
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(Spans, ScopedSpanRecordsParentAndObservesHistogram) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode records nothing";
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test_span_seconds");
+  obs::SpanId parent_id = 0;
+  {
+    obs::ScopedSpan parent(&registry, "test.batch", 0, nullptr, 17);
+    parent_id = parent.id();
+    EXPECT_NE(parent_id, 0u);
+    obs::ScopedSpan child(&registry, "test.dispatch", parent.id(), h, 4);
+    EXPECT_NE(child.id(), parent.id());
+  }
+  const std::vector<obs::Span> spans = registry.RecentSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Child destructs first, so it lands first in the ring.
+  EXPECT_STREQ(spans[0].name, "test.dispatch");
+  EXPECT_EQ(spans[0].parent, parent_id);
+  EXPECT_EQ(spans[0].detail, 4u);
+  EXPECT_STREQ(spans[1].name, "test.batch");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].detail, 17u);
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+  EXPECT_EQ(h->Snapshot().count, 1u);  // one clock read fed the histogram
+}
+
+TEST(Spans, RingEvictsOldestFirst) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode ring capacity is 0";
+  obs::MetricsRegistry registry;
+  const size_t cap = obs::MetricsRegistry::kSpanRingCapacity;
+  for (size_t i = 0; i < cap + 10; ++i) {
+    obs::Span s;
+    s.id = i + 1;
+    s.name = "ring.test";
+    registry.RecordSpan(s);
+  }
+  const std::vector<obs::Span> spans = registry.RecentSpans();
+  ASSERT_EQ(spans.size(), cap);
+  // Oldest surviving span first: ids 11 .. cap+10 in order.
+  for (size_t i = 0; i < cap; ++i) {
+    EXPECT_EQ(spans[i].id, i + 11) << "slot " << i;
+  }
+}
+
+TEST(Spans, NextSpanIdIsUniqueAcrossThreads) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode mints 0";
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<obs::SpanId>> minted(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& mine = minted[static_cast<size_t>(t)];
+      mine.reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) mine.push_back(obs::NextSpanId());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<obs::SpanId> all;
+  for (const auto& mine : minted) all.insert(all.end(), mine.begin(), mine.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_NE(all.front(), 0u);
+}
+
+TEST(Spans, ScopedTimerCancelDropsObservation) {
+  if (!obs::kEnabled) GTEST_SKIP() << "OFF mode records nothing";
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test_cancel_seconds");
+  {
+    obs::ScopedTimer timer(h);
+    timer.Cancel();
+  }
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  {
+    obs::ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h->Snapshot().count, 1u);
+}
+
+// ----------------------------------------------- SLUGGER_OBS=OFF world
+
+// These assert the stub semantics and run only in an -DSLUGGER_OBS=OFF
+// build (the obs-off CI job); in a normal build they skip.
+TEST(ObsDisabled, EverythingIsInertAndEmpty) {
+  if (obs::kEnabled) GTEST_SKIP() << "compiled with SLUGGER_OBS=ON";
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("test_total", "help");
+  ASSERT_NE(c, nullptr);
+  c->Add(1000);
+  EXPECT_EQ(c->Value(), 0u);
+  obs::Gauge* g = registry.GetGauge("test_depth");
+  g->Set(5);
+  g->Add(7);
+  EXPECT_EQ(g->Value(), 0);
+  obs::Histogram* h = registry.GetHistogram("test_seconds");
+  h->Observe(1.0);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  EXPECT_TRUE(h->bounds().empty());
+  EXPECT_TRUE(registry.Collect().empty());
+  EXPECT_EQ(obs::NextSpanId(), 0u);
+  registry.RecordSpan(obs::Span{});
+  EXPECT_TRUE(registry.RecentSpans().empty());
+  {
+    obs::ScopedSpan span(&registry, "test.span");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_TRUE(DumpPrometheus(registry).empty());
+  EXPECT_EQ(DumpJson(registry),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"spans\":[]}");
+}
+
+}  // namespace
+}  // namespace slugger

@@ -17,6 +17,11 @@ Rules
   manual-parse    Benches and examples parse CLI numbers through
                   util/parse.hpp (ParseUint32/ParseUint64), never the
                   silently-zero atoi family.
+  raw-timing      No raw std::chrono clocks in src/ outside src/obs/ and
+                  src/util/. Functional timing goes through util::WallTimer
+                  (it survives SLUGGER_OBS=OFF); metrics timing goes
+                  through obs::ScopedTimer / obs::ScopedSpan so it is
+                  sampled, histogrammed, and compiled out with the layer.
 
 A finding can be waived with a same-line or previous-line marker naming
 the rule and a reason, e.g.
@@ -34,7 +39,8 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 CPP_EXTS = (".cpp", ".hpp", ".cc", ".h")
-KNOWN_RULES = {"raw-sync", "naked-new", "unbounded-alloc", "manual-parse"}
+KNOWN_RULES = {"raw-sync", "naked-new", "unbounded-alloc", "manual-parse",
+               "raw-timing"}
 
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)(?::[^)]*)?\)")
 
@@ -53,6 +59,14 @@ ALLOC_RES = [
     re.compile(r"\bstd::vector\s*<[^;=]*>\s+\w+\s*\(\s*([A-Za-z_]\w*)\s*[),]"),
     re.compile(r"\bmake_unique\s*<[^;=]*\[\]\s*>\s*\(\s*([A-Za-z_]\w*)\s*\)"),
 ]
+
+# `std::chrono` with the qualifier (never bare "chrono", which would hit
+# "synchronous" in identifiers) plus the clock names and the header.
+RAW_TIMING_RE = re.compile(
+    r"std::chrono\b"
+    r"|\b(steady_clock|system_clock|high_resolution_clock)\b"
+    r"|#\s*include\s*<chrono>"
+)
 
 PARSE_RE = re.compile(
     r"\b(atoi|atol|atoll|atof|strtol|strtoul|strtoll|strtoull"
@@ -204,6 +218,21 @@ class Linter:
                         f"(line {start + 1}) and here",
                         raw_lines)
 
+    def check_raw_timing(self, path, code_lines, raw_lines):
+        p = rel(path)
+        if (p.startswith(os.path.join("src", "obs") + os.sep)
+                or p.startswith(os.path.join("src", "util") + os.sep)):
+            return
+        for idx, line in enumerate(code_lines):
+            m = RAW_TIMING_RE.search(line)
+            if m:
+                self.report(
+                    "raw-timing", path, idx + 1,
+                    f"'{m.group(0).strip()}' outside src/obs/ and src/util/ — "
+                    "use util::WallTimer for functional timing or "
+                    "obs::ScopedTimer/ScopedSpan for metrics timing",
+                    raw_lines)
+
     def check_manual_parse(self, path, code_lines, raw_lines):
         for idx, line in enumerate(code_lines):
             m = PARSE_RE.search(line)
@@ -228,6 +257,7 @@ class Linter:
             if path in src_scope:
                 self.check_naked_new(path, code_lines, raw_lines)
                 self.check_unbounded_alloc(path, code_lines, raw_lines)
+                self.check_raw_timing(path, code_lines, raw_lines)
             if path in cli_scope:
                 self.check_manual_parse(path, code_lines, raw_lines)
         return self.findings
